@@ -1,0 +1,215 @@
+(* scc — the silicon compiler command line.
+
+   Subcommands:
+     scc layout FILE    compile a layout-language program to CIF
+     scc behavior FILE  compile an ISP behavioral description to CIF
+     scc drc FILE       design-rule-check a CIF file
+     scc stats FILE     report area/device statistics of a CIF file
+     scc sim FILE       interpret an ISP description with a trivial stimulus
+     scc extract FILE   extract the transistor circuit from CIF geometry
+     scc svg FILE       render CIF artwork as SVG *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_out output text =
+  match output with
+  | None -> print_string text
+  | Some path ->
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc text)
+
+let report_compiled (c : Sc_core.Compiler.compiled) =
+  Printf.eprintf "cell %s: %dx%d lambda, %d transistors, DRC %s\n%!"
+    c.Sc_core.Compiler.layout.Sc_layout.Cell.name
+    (Sc_layout.Cell.width c.Sc_core.Compiler.layout)
+    (Sc_layout.Cell.height c.Sc_core.Compiler.layout)
+    c.Sc_core.Compiler.transistors
+    (if c.Sc_core.Compiler.drc_violations = 0 then "clean"
+     else string_of_int c.Sc_core.Compiler.drc_violations ^ " violations")
+
+(* --- layout --- *)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Input file.")
+
+let output_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "output" ] ~docv:"OUT" ~doc:"Write CIF to $(docv).")
+
+let entry_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "e"; "entry" ] ~docv:"CELL" ~doc:"Entry cell (default: last defined).")
+
+let args_arg =
+  Arg.(
+    value
+    & opt (list int) []
+    & info [ "a"; "args" ] ~docv:"INTS" ~doc:"Entry cell arguments.")
+
+let layout_cmd =
+  let run file entry args output =
+    match Sc_core.Compiler.compile_layout ?entry ~args (read_file file) with
+    | Error e ->
+      Printf.eprintf "error: %s\n" e;
+      1
+    | Ok c ->
+      report_compiled c;
+      write_out output c.Sc_core.Compiler.cif;
+      0
+  in
+  Cmd.v
+    (Cmd.info "layout" ~doc:"Compile a layout-language program to CIF.")
+    Term.(const run $ file_arg $ entry_arg $ args_arg $ output_arg)
+
+(* --- behavior --- *)
+
+let style_arg =
+  Arg.(
+    value
+    & opt (enum [ ("gates", Sc_core.Compiler.Random_logic); ("pla", Sc_core.Compiler.Pla_control) ])
+        Sc_core.Compiler.Random_logic
+    & info [ "s"; "style" ] ~docv:"STYLE"
+        ~doc:"Control style: $(b,gates) (random logic) or $(b,pla).")
+
+let behavior_cmd =
+  let run file style output =
+    match Sc_core.Compiler.compile_behavior ~style (read_file file) with
+    | Error e ->
+      Printf.eprintf "error: %s\n" e;
+      1
+    | Ok (c, circuit) ->
+      let s = Sc_netlist.Circuit.stats circuit in
+      Printf.eprintf "netlist: %d gates, %d flip-flops\n%!"
+        s.Sc_netlist.Circuit.gate_total s.Sc_netlist.Circuit.flipflops;
+      report_compiled c;
+      write_out output c.Sc_core.Compiler.cif;
+      0
+  in
+  Cmd.v
+    (Cmd.info "behavior" ~doc:"Compile an ISP behavioral description to CIF.")
+    Term.(const run $ file_arg $ style_arg $ output_arg)
+
+(* --- drc / stats on CIF files --- *)
+
+let with_cif file k =
+  match Sc_cif.Elaborate.of_string (read_file file) with
+  | Error e ->
+    Printf.eprintf "error: %s\n" (Sc_cif.Elaborate.error_to_string e);
+    1
+  | Ok cell -> k cell
+
+let drc_cmd =
+  let run file =
+    with_cif file (fun cell ->
+        let vs = Sc_drc.Checker.check cell in
+        Sc_drc.Checker.report Format.std_formatter vs;
+        if vs = [] then 0 else 1)
+  in
+  Cmd.v
+    (Cmd.info "drc" ~doc:"Design-rule-check a CIF file.")
+    Term.(const run $ file_arg)
+
+let stats_cmd =
+  let run file =
+    with_cif file (fun cell ->
+        Format.printf "%a@." Sc_layout.Stats.pp (Sc_layout.Stats.measure cell);
+        0)
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Report area and device statistics of a CIF file.")
+    Term.(const run $ file_arg)
+
+(* --- extract --- *)
+
+let extract_cmd =
+  let run file =
+    with_cif file (fun cell ->
+        let net = Sc_extract.Extractor.extract cell in
+        Format.printf "%a@." Sc_extract.Extractor.pp net;
+        List.iter (fun w -> Printf.printf "  warning: %s\n" w)
+          net.Sc_extract.Extractor.warnings;
+        List.iter
+          (fun (name, node) -> Printf.printf "  port %s = node %d\n" name node)
+          net.Sc_extract.Extractor.named;
+        if net.Sc_extract.Extractor.warnings = [] then 0 else 1)
+  in
+  Cmd.v
+    (Cmd.info "extract"
+       ~doc:"Extract the transistor circuit from a CIF file's geometry.")
+    Term.(const run $ file_arg)
+
+(* --- svg --- *)
+
+let svg_cmd =
+  let run file output =
+    with_cif file (fun cell ->
+        let svg = Sc_layout.Render.to_svg cell in
+        write_out output svg;
+        0)
+  in
+  Cmd.v
+    (Cmd.info "svg" ~doc:"Render a CIF file as SVG artwork.")
+    Term.(const run $ file_arg $ output_arg)
+
+(* --- sim --- *)
+
+let cycles_arg =
+  Arg.(value & opt int 16 & info [ "n"; "cycles" ] ~docv:"N" ~doc:"Cycles to run.")
+
+let sim_cmd =
+  let run file cycles =
+    match Sc_rtl.Parser.parse (read_file file) with
+    | Error e ->
+      Printf.eprintf "parse error: %s\n" e;
+      1
+    | Ok design -> (
+      match Sc_rtl.Check.check design with
+      | e :: _ ->
+        Printf.eprintf "check error: %s\n" e;
+        1
+      | [] ->
+        let t = Sc_rtl.Interp.create design in
+        let has_reset =
+          List.exists
+            (fun (d : Sc_rtl.Ast.decl) -> d.dname = "reset")
+            design.Sc_rtl.Ast.inputs
+        in
+        for cyc = 0 to cycles - 1 do
+          if has_reset then
+            Sc_rtl.Interp.set_input t "reset" (if cyc = 0 then 1 else 0);
+          Sc_rtl.Interp.step t;
+          Printf.printf "cycle %2d:" cyc;
+          List.iter
+            (fun (d : Sc_rtl.Ast.decl) ->
+              Printf.printf " %s=%d" d.dname (Sc_rtl.Interp.output t d.dname))
+            design.Sc_rtl.Ast.outputs;
+          print_newline ()
+        done;
+        0)
+  in
+  Cmd.v
+    (Cmd.info "sim"
+       ~doc:
+         "Interpret an ISP description (reset asserted on cycle 0, other \
+          inputs zero).")
+    Term.(const run $ file_arg $ cycles_arg)
+
+let () =
+  let doc = "the silicon compiler: textual descriptions to layout data" in
+  exit
+    (Cmd.eval'
+       (Cmd.group
+          (Cmd.info "scc" ~version:"1.0" ~doc)
+          [ layout_cmd; behavior_cmd; drc_cmd; stats_cmd; sim_cmd; extract_cmd; svg_cmd ]))

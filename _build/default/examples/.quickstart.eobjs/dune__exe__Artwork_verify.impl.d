@@ -1,0 +1,1 @@
+examples/artwork_verify.ml: Array Format List Printf Sc_extract Sc_logic Sc_pla Sc_stdcell

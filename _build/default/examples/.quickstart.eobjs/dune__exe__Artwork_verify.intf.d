@@ -1,0 +1,1 @@
+examples/artwork_verify.mli:

@@ -1,0 +1,1 @@
+examples/chip_assembly.ml: Filename List Printf Sc_chip Sc_cif Sc_core Sc_drc Sc_synth

@@ -1,0 +1,1 @@
+examples/microcode.ml: Array Builder Format Gate Printf Sc_drc Sc_layout Sc_netlist Sc_pla Sc_rom Sc_sim

@@ -1,0 +1,1 @@
+examples/pdp8_compile.ml: Filename List Printf Sc_cif Sc_core Sc_drc Sc_layout Sc_netlist Sc_sim Sc_stdcell Sc_synth

@@ -1,0 +1,1 @@
+examples/pdp8_compile.mli:

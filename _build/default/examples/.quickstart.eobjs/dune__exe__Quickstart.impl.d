@@ -1,0 +1,1 @@
+examples/quickstart.ml: Filename Printf Sc_cif Sc_core Sc_layout String

@@ -1,0 +1,1 @@
+examples/traffic_pla.ml: Array Filename Format Printf Sc_cif Sc_core Sc_drc Sc_pla Sc_sim Sc_synth String

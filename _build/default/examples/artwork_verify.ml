@@ -1,0 +1,78 @@
+(* Verification by simulation — of the artwork itself.
+
+   The paper closes by asking what role behavioral descriptions should
+   play, "so that verification by simulation can be carried out".  This
+   example goes one step further: it extracts the transistor circuit
+   back out of the generated mask geometry (channels where poly crosses
+   diffusion, contacts, buried gate ties, depletion loads) and simulates
+   that at switch level — the NMOS ratioed-logic model — proving the
+   *artwork* computes, not merely the netlist it came from.
+
+   Run:  dune exec examples/artwork_verify.exe  *)
+
+let show_cell name cell inputs spec =
+  let net = Sc_extract.Extractor.extract cell in
+  let ok = Sc_extract.Switch.verify_logic cell ~inputs ~outputs:[ "y" ] spec in
+  Printf.printf "%-8s: %s -> computes %s: %b\n" name
+    (Format.asprintf "%a" Sc_extract.Extractor.pp net)
+    name ok
+
+let () =
+  Printf.printf "extracting and simulating the standard cells' masks:\n";
+  show_cell "inv" (Sc_stdcell.Nmos.inv ()) [ "a" ] (fun b -> [| not b.(0) |]);
+  show_cell "nand2" (Sc_stdcell.Nmos.nand 2) [ "a"; "b" ] (fun b ->
+      [| not (b.(0) && b.(1)) |]);
+  show_cell "nor2" (Sc_stdcell.Nmos.nor2 ()) [ "a"; "b" ] (fun b ->
+      [| not (b.(0) || b.(1)) |]);
+  (* now a programmed PLA: a BCD "is prime" detector *)
+  Printf.printf "\na PLA programmed as a BCD prime detector (2,3,5,7):\n";
+  let cover =
+    Sc_logic.Cover.of_function ~ninputs:4 ~noutputs:1 (fun bits ->
+        let v =
+          (if bits.(0) then 1 else 0)
+          lor (if bits.(1) then 2 else 0)
+          lor (if bits.(2) then 4 else 0)
+          lor if bits.(3) then 8 else 0
+        in
+        [| v = 2 || v = 3 || v = 5 || v = 7 |])
+  in
+  let pla = Sc_pla.Generator.generate cover in
+  Printf.printf "%s\n" (Format.asprintf "%a" Sc_pla.Generator.pp_summary pla);
+  let net = Sc_extract.Extractor.extract pla.Sc_pla.Generator.layout in
+  Printf.printf "%s\n" (Format.asprintf "%a" Sc_extract.Extractor.pp net);
+  let node = Sc_extract.Extractor.node_of net in
+  Printf.printf "\n  v | prime? | artwork says\n";
+  let all_ok = ref true in
+  for v = 0 to 9 do
+    let bits = Array.init 4 (fun i -> v land (1 lsl i) <> 0) in
+    let inputs =
+      List.concat
+        (List.init 4 (fun i ->
+             [ ( node (Printf.sprintf "in%d_t" i)
+               , if bits.(i) then Sc_extract.Switch.V1 else Sc_extract.Switch.V0 )
+             ; ( node (Printf.sprintf "in%d_c" i)
+               , if bits.(i) then Sc_extract.Switch.V0 else Sc_extract.Switch.V1 )
+             ]))
+    in
+    let values =
+      Sc_extract.Switch.simulate net ~vdd:(node "vdd") ~gnd:(node "gnd") ~inputs
+    in
+    (* the NOR-plane column carries the complement; invert for display *)
+    let raw = values.(node "out0") in
+    let says =
+      match raw with
+      | Sc_extract.Switch.V0 -> "prime"
+      | Sc_extract.Switch.V1 -> "not prime"
+      | Sc_extract.Switch.VX -> "???"
+    in
+    let expected = (Sc_logic.Cover.eval cover bits).(0) in
+    let agrees =
+      raw = if expected then Sc_extract.Switch.V0 else Sc_extract.Switch.V1
+    in
+    if not agrees then all_ok := false;
+    Printf.printf "  %d | %-6s | %s\n" v
+      (if expected then "prime" else "no")
+      says
+  done;
+  Printf.printf "\nartwork agrees with the specification on all inputs: %b\n"
+    !all_ok

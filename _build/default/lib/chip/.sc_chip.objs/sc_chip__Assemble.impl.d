@@ -1,0 +1,1 @@
+lib/chip/assemble.ml: Cell Format Layer Lazy List Point Printf Rect Sc_geom Sc_layout Sc_tech Transform

@@ -1,0 +1,1 @@
+lib/chip/assemble.mli: Cell Format Sc_layout

@@ -1,0 +1,146 @@
+open Sc_geom
+open Sc_tech
+open Sc_layout
+
+let pad_size = 80
+let ring = 120 (* pad depth (100) + clearance to the core *)
+let pitch = 100
+
+let pad_cell =
+  lazy
+    (Cell.make ~name:"pad"
+       ~ports:[ Cell.port "pin" Layer.Metal (Rect.make 36 100 44 100) ]
+       [ Cell.box Layer.Metal (Rect.make 0 0 80 80)
+       ; Cell.box Layer.Glass (Rect.make 10 10 70 70)
+       ; Cell.box Layer.Metal (Rect.make 36 80 44 100)
+       ])
+
+let pad () = Lazy.force pad_cell
+
+type assembly =
+  { chip : Cell.t
+  ; pads : int
+  ; core_area : int
+  ; chip_area : int
+  ; overhead : float
+  }
+
+type side = Bottom | Right | Top | Left
+
+let assemble ?(bind = []) ~name ~core ~pads () =
+  if pads < 4 then invalid_arg "Assemble.assemble: need at least 4 pads";
+  let core = Cell.translate_to_origin core in
+  let core_w = Cell.width core and core_h = Cell.height core in
+  let per_side s =
+    let s = match s with Bottom -> 0 | Right -> 1 | Top -> 2 | Left -> 3 in
+    (pads + 3 - s) / 4
+  in
+  let nb = per_side Bottom and nr = per_side Right in
+  let nt = per_side Top and nl = per_side Left in
+  let width =
+    max (core_w + (2 * ring)) ((2 * ring) + (pitch * max nb nt))
+  in
+  let height =
+    max (core_h + (2 * ring)) ((2 * ring) + (pitch * max nl nr))
+  in
+  let core_x = (width - core_w) / 2 and core_y = (height - core_h) / 2 in
+  let p = pad () in
+  let instances = ref [] in
+  let wires = ref [] in
+  let core_inst =
+    Cell.instantiate ~name:"core" ~trans:(Transform.translation core_x core_y) core
+  in
+  instances := [ core_inst ];
+  let core_port pname =
+    match Cell.find_port_opt core pname with
+    | Some port ->
+      Rect.center (Rect.translate (Point.make core_x core_y) port.Cell.rect)
+    | None ->
+      invalid_arg (Printf.sprintf "Assemble.assemble: core has no port %S" pname)
+  in
+  let add_wire pts = wires := Cell.wire Layer.Metal ~width:4 pts :: !wires in
+  let pad_index = ref 0 in
+  let place side k =
+    let idx = !pad_index in
+    incr pad_index;
+    let count, span =
+      match side with
+      | Bottom | Top -> ((match side with Bottom -> nb | _ -> nt), width)
+      | Left | Right -> ((match side with Left -> nl | _ -> nr), height)
+    in
+    let offset = ring + (((span - (2 * ring)) - (count * pitch)) / 2) in
+    let pos = offset + (k * pitch) + ((pitch - pad_size) / 2) in
+    let trans =
+      match side with
+      | Bottom -> Transform.translation pos 0
+      | Top -> Transform.make ~orient:Transform.MX (Point.make pos height)
+      | Left -> Transform.make ~orient:Transform.R270 (Point.make 0 (pos + pad_size))
+      | Right -> Transform.make ~orient:Transform.R90 (Point.make width pos)
+    in
+    let inst = Cell.instantiate ~name:(Printf.sprintf "pad%d" idx) ~trans p in
+    instances := inst :: !instances;
+    let pin =
+      Rect.center (Cell.port_in_parent inst (Cell.find_port p "pin")).Cell.rect
+    in
+    (match List.assoc_opt idx bind with
+    | Some pname ->
+      let target = core_port pname in
+      (* L-route: continue in the stub direction to the target's lane,
+         then turn *)
+      let mid =
+        match side with
+        | Bottom | Top -> Point.make pin.Point.x target.Point.y
+        | Left | Right -> Point.make target.Point.x pin.Point.y
+      in
+      if Point.equal pin mid || Point.equal mid target then
+        add_wire [ pin; target ]
+      else add_wire [ pin; mid; target ]
+    | None ->
+      (* unbound: stub stops 6 lambda short of the core *)
+      let stop =
+        match side with
+        | Bottom -> Point.make pin.Point.x (core_y - 6)
+        | Top -> Point.make pin.Point.x (core_y + core_h + 6)
+        | Left -> Point.make (core_x - 6) pin.Point.y
+        | Right -> Point.make (core_x + core_w + 6) pin.Point.y
+      in
+      add_wire [ pin; stop ])
+  in
+  for k = 0 to nb - 1 do
+    place Bottom k
+  done;
+  for k = 0 to nr - 1 do
+    place Right k
+  done;
+  for k = 0 to nt - 1 do
+    place Top k
+  done;
+  for k = 0 to nl - 1 do
+    place Left k
+  done;
+  let ports =
+    List.filter_map
+      (fun (i : Cell.inst) ->
+        if i.inst_name = "core" then None
+        else
+          Some
+            { (Cell.port_in_parent i (Cell.find_port p "pin")) with
+              Cell.pname = i.inst_name
+            })
+      !instances
+  in
+  let chip =
+    Cell.make ~name ~ports ~instances:(List.rev !instances) (List.rev !wires)
+  in
+  let core_area = Cell.area core in
+  let chip_area = Cell.area chip in
+  { chip
+  ; pads
+  ; core_area
+  ; chip_area
+  ; overhead = float_of_int chip_area /. float_of_int (max core_area 1)
+  }
+
+let pp ppf a =
+  Format.fprintf ppf "chip %s: %d pads, core %d, chip %d (x%.2f)"
+    a.chip.Cell.name a.pads a.core_area a.chip_area a.overhead

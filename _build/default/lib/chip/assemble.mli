@@ -1,0 +1,40 @@
+(** Chip assembly: the parameterised pad frame of claim C6.
+
+    One program assembles a complete chip around any core: bonding pads
+    (metal squares with overglass openings) are distributed around the
+    four sides, each with a connection stub pointing inward; pad wires
+    run from each pad toward the core, either to a *bound* core port
+    (they land on its metal and merge with it — the connection) or
+    stopping 6 lambda short of the core as a pre-routed stub.
+
+    The assembly is pure geometry generation — every output must pass
+    DRC (tests enforce it) — and its cost model (pad-ring area overhead
+    versus core area) is what experiment E6 sweeps. *)
+
+open Sc_layout
+
+(** The bonding pad: an 80x80 metal square with a 60x60 glass opening
+    and an inward stub carrying the ["pin"] port on its outer stub end. *)
+val pad : unit -> Cell.t
+
+val pad_size : int
+
+type assembly =
+  { chip : Cell.t
+  ; pads : int
+  ; core_area : int
+  ; chip_area : int
+  ; overhead : float  (** chip_area / core_area *)
+  }
+
+(** [assemble ~name ~core ~pads ()] — distribute [pads] pads round-robin
+    over the four sides.  [bind] maps pad index (counter-clockwise from
+    the bottom-left) to a core port name; bound pads are wired to the
+    port with an L-shaped metal wire.
+
+    @raise Invalid_argument when [pads < 4] or a bound port is missing. *)
+val assemble :
+  ?bind:(int * string) list -> name:string -> core:Cell.t -> pads:int -> unit ->
+  assembly
+
+val pp : Format.formatter -> assembly -> unit

@@ -1,0 +1,1 @@
+lib/cif/ast.mli: Format

@@ -1,0 +1,1 @@
+lib/cif/elaborate.ml: Ast Cell Emit Flatten Hashtbl Layer List Parse Path Point Printf Rect Rules Sc_geom Sc_layout Sc_tech String Transform

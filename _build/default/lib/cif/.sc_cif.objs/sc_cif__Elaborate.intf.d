@@ -1,0 +1,1 @@
+lib/cif/elaborate.mli: Ast Sc_layout

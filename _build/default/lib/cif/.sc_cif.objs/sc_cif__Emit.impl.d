@@ -1,0 +1,1 @@
+lib/cif/emit.ml: Ast Cell Format Fun Hashtbl Layer List Path Point Printf Rect Rules Sc_geom Sc_layout Sc_tech String Transform

@@ -1,0 +1,1 @@
+lib/cif/emit.mli: Ast Sc_layout

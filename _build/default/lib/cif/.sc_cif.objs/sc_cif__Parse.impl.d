@@ -1,0 +1,1 @@
+lib/cif/parse.ml: Ast Char Format Fun List String

@@ -1,0 +1,18 @@
+(** Emitting a layout hierarchy as CIF 2.0.
+
+    Geometry is written on a half-lambda grid: every coordinate is doubled
+    and the symbol scale factor is halved (DS a = 125 for a 250
+    centimicron lambda), so box centres are always integers.  Wires are
+    written as their covering boxes, which keeps emission/parsing exactly
+    invertible on geometry; symbol names travel in the "9" user extension
+    and ports in the "94" extension ([94 name cx cy layer], doubled
+    coordinates). *)
+
+val file_of_cell : Sc_layout.Cell.t -> Ast.file
+
+val to_string : Sc_layout.Cell.t -> string
+
+val to_channel : out_channel -> Sc_layout.Cell.t -> unit
+
+(** [write path cell] writes the CIF file at [path]. *)
+val write : string -> Sc_layout.Cell.t -> unit

@@ -1,0 +1,12 @@
+(** Parsing CIF 2.0 text into the AST.
+
+    The parser accepts the command subset of {!Ast}: DS/DF/DD, L, B (with
+    optional axis-parallel direction), P, W, C with T/M/R transformations,
+    comments, user extensions and E.  CIF's liberal separator rule is
+    honoured: any run of characters that is not a digit, an upper-case
+    command letter, '-', '(' or ';' separates tokens. *)
+
+val parse : string -> (Ast.file, string) result
+
+(** [parse_file path] reads and parses a CIF file from disk. *)
+val parse_file : string -> (Ast.file, string) result

@@ -1,0 +1,1 @@
+lib/core/compiler.ml: Cell Compose List Sc_cif Sc_drc Sc_lang Sc_layout Sc_netlist Sc_pla Sc_place Sc_rtl Sc_stdcell Sc_synth Stats

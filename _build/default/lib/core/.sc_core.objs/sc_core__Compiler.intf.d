@@ -1,0 +1,1 @@
+lib/core/compiler.mli: Cell Sc_layout Sc_netlist

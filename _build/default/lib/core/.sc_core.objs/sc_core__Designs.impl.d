@@ -1,0 +1,1 @@
+lib/core/designs.ml: Array Builder Gate Sc_netlist Sc_rtl

@@ -1,0 +1,1 @@
+lib/core/designs.mli: Circuit Sc_netlist Sc_rtl

@@ -1,0 +1,44 @@
+(** The silicon compiler facade: "a completely textual description of a
+    design translated to layout data".
+
+    Two front doors, one per definition of silicon compilation debated in
+    the paper:
+
+    - {!compile_layout}: structural/graphical path — layout-language text
+      straight to artwork;
+    - {!compile_behavior}: behavioral path — ISP text through synthesis,
+      placement and cell layout.
+
+    Both end at CIF via {!to_cif}. *)
+
+open Sc_layout
+
+type behavior_style = Random_logic | Pla_control
+
+type compiled =
+  { layout : Cell.t
+  ; cif : string
+  ; drc_violations : int
+  ; area : int  (** bounding box, square lambda *)
+  ; transistors : int
+  }
+
+(** Structural path: layout-language source to artwork. *)
+val compile_layout :
+  ?entry:string -> ?args:int list -> string -> (compiled, string) result
+
+(** Behavioral path: ISP source to a placed layout of standard cells (or
+    a PLA plus registers).  Also returns the synthesized circuit. *)
+val compile_behavior :
+  ?style:behavior_style ->
+  string ->
+  (compiled * Sc_netlist.Circuit.t, string) result
+
+(** Place a gate-level circuit as standard-cell rows (the physical view
+    used by the behavioral path and experiments). *)
+val layout_of_circuit : name:string -> Sc_netlist.Circuit.t -> Cell.t
+
+val to_cif : Cell.t -> string
+
+(** Measure an existing layout the same way the compilers do. *)
+val measure : Cell.t -> compiled

@@ -1,0 +1,67 @@
+(** The experiment workloads.
+
+    Behavioral (ISP) sources for every design the experiments compile,
+    plus hand-crafted structural baselines built directly on the standard
+    module library — the stand-ins for the paper's "commercial design"
+    comparison points (claim C4).  Each hand design implements exactly
+    the same cycle semantics as its ISP description; tests verify both
+    against the behavioral interpreter. *)
+
+open Sc_netlist
+
+(** 4-bit loadable counter with synchronous reset. *)
+val counter_src : string
+
+(** Traffic-light controller (2-bit state, car sensor, timer). *)
+val traffic_src : string
+
+(** 4-bit accumulator ALU (add/sub/and/xor) with zero flag. *)
+val alu_src : string
+
+(** 3-bit Gray-code cycle generator. *)
+val gray_src : string
+
+(** "1011" sequence detector (Mealy, 2-bit state). *)
+val seqdet_src : string
+
+(** The mini PDP-8: an 8-bit accumulator machine with a 4-bit PC, four
+    8-bit scratch words in place of core memory (instructions arrive on
+    an input port from an external store), and the classic instruction
+    set: AND, TAD, ISZ, DCA, JMP and the OPR microcoded group
+    (CLA/CMA/IAC combinations).  Encoding: bits 7..5 opcode, 4..3
+    scratch-word address, 2..0 OPR micro-op field / JMP target low bits. *)
+val pdp8_src : string
+
+(** Parsed designs (panics on internal parse error — these are fixtures). *)
+val parse : string -> Sc_rtl.Ast.design
+
+(** Hand-built structural baselines. *)
+
+val hand_counter : unit -> Circuit.t
+
+val hand_traffic : unit -> Circuit.t
+
+val hand_alu : unit -> Circuit.t
+
+val hand_pdp8 : unit -> Circuit.t
+
+(** Per-design stimulus generators for verification, cycle -> inputs. *)
+
+val counter_stim : int -> (string * int) list
+
+val traffic_stim : int -> (string * int) list
+
+val alu_stim : int -> (string * int) list
+
+val gray_stim : int -> (string * int) list
+
+val seqdet_stim : int -> (string * int) list
+
+(** Drives a small program through the PDP-8: reset, arithmetic on the
+    scratch words, OPR group, a JMP loop. *)
+val pdp8_stim : int -> (string * int) list
+
+(** (name, ISP source, hand baseline if any, stimulus, verify cycles) *)
+val all :
+  unit ->
+  (string * string * Circuit.t option * (int -> (string * int) list) * int) list

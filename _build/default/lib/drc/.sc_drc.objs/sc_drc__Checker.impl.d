@@ -1,0 +1,1 @@
+lib/drc/checker.ml: Array Flatten Format Int Layer List Printf Rect Rules Sc_geom Sc_layout Sc_tech

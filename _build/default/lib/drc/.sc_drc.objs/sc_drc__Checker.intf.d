@@ -1,0 +1,1 @@
+lib/drc/checker.mli: Cell Flatten Format Rect Rules Sc_geom Sc_layout Sc_tech

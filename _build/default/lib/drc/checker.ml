@@ -1,0 +1,165 @@
+open Sc_geom
+open Sc_tech
+open Sc_layout
+
+type violation =
+  { rule : Rules.rule
+  ; where : Rect.t
+  ; detail : string
+  }
+
+(* --- rectangle cover: is [target] fully covered by the union of [covers]?
+   Recursive splitting: find a cover overlapping the target, split the
+   uncovered remainder into at most four rectangles and recurse. *)
+let rec covered target covers =
+  if Rect.is_empty target then true
+  else
+    match
+      List.find_opt
+        (fun c -> Rect.overlaps c target || Rect.contains c target)
+        covers
+    with
+    | None -> false
+    | Some c ->
+      if Rect.contains c target then true
+      else
+        let pieces =
+          let t = target in
+          let frags = ref [] in
+          let push x0 y0 x1 y1 =
+            if x0 < x1 && y0 < y1 then frags := Rect.make x0 y0 x1 y1 :: !frags
+          in
+          (* Left and right slabs, then the middle strips above and below. *)
+          push t.Rect.xmin t.Rect.ymin (min t.Rect.xmax c.Rect.xmin) t.Rect.ymax;
+          push (max t.Rect.xmin c.Rect.xmax) t.Rect.ymin t.Rect.xmax t.Rect.ymax;
+          let mx0 = max t.Rect.xmin c.Rect.xmin
+          and mx1 = min t.Rect.xmax c.Rect.xmax in
+          push mx0 t.Rect.ymin mx1 (min t.Rect.ymax c.Rect.ymin);
+          push mx0 (max t.Rect.ymin c.Rect.ymax) mx1 t.Rect.ymax;
+          !frags
+        in
+        List.for_all (fun p -> covered p covers) pieces
+
+(* --- grouping rectangles into electrically connected regions --- *)
+let group_regions rects =
+  let n = Array.length rects in
+  let parent = Array.init n (fun i -> i) in
+  let rec find i = if parent.(i) = i then i else find parent.(i) in
+  let union i j =
+    let ri = find i and rj = find j in
+    if ri <> rj then parent.(ri) <- rj
+  in
+  (* rects must be sorted by xmin; only neighbours whose x-ranges touch can
+     touch geometrically. *)
+  for i = 0 to n - 1 do
+    let j = ref (i + 1) in
+    while !j < n && rects.(!j).Rect.xmin <= rects.(i).Rect.xmax do
+      if Rect.touches_or_overlaps rects.(i) rects.(!j) then union i !j;
+      incr j
+    done
+  done;
+  Array.init n find
+
+let sorted_array rs =
+  let a = Array.of_list rs in
+  Array.sort (fun r1 r2 -> Int.compare r1.Rect.xmin r2.Rect.xmin) a;
+  a
+
+let check_flat flat =
+  let violations = ref [] in
+  let add rule where detail = violations := { rule; where; detail } :: !violations in
+  let by_layer = Array.make Layer.count [] in
+  List.iter
+    (fun (fb : Flatten.flat_box) ->
+      if not (Rect.is_empty fb.rect) then
+        let i = Layer.index fb.layer in
+        by_layer.(i) <- fb.rect :: by_layer.(i))
+    flat;
+  let layer_rects l = sorted_array by_layer.(Layer.index l) in
+  (* Width. *)
+  List.iter
+    (fun l ->
+      let w = Rules.min_width l in
+      List.iter
+        (fun r ->
+          let narrow = min (Rect.width r) (Rect.height r) in
+          if narrow < w then
+            add (Rules.Min_width (l, w)) r
+              (Printf.sprintf "feature is %d lambda wide" narrow))
+        by_layer.(Layer.index l))
+    Layer.all;
+  (* Same-layer spacing between distinct regions. *)
+  List.iter
+    (fun l ->
+      let s = Rules.min_spacing l in
+      if s > 0 then begin
+        let rects = layer_rects l in
+        let region = group_regions rects in
+        let n = Array.length rects in
+        for i = 0 to n - 1 do
+          let j = ref (i + 1) in
+          while !j < n && rects.(!j).Rect.xmin <= rects.(i).Rect.xmax + s do
+            if region.(i) <> region.(!j) then begin
+              let sep = Rect.separation rects.(i) rects.(!j) in
+              if sep < s then
+                add
+                  (Rules.Min_spacing (l, l, s))
+                  rects.(i)
+                  (Printf.sprintf "to %s: %d < %d" (Rect.to_string rects.(!j)) sep s)
+            end;
+            incr j
+          done
+        done
+      end)
+    Layer.all;
+  (* Cross-layer spacing; overlapping or abutting shapes are related
+     (transistors, butting contacts) and exempt. *)
+  List.iter
+    (fun (la, lb) ->
+      let s = Rules.cross_spacing la lb in
+      if s > 0 && not (Layer.equal la lb) then begin
+        let ra = layer_rects la and rb = layer_rects lb in
+        Array.iter
+          (fun a ->
+            Array.iter
+              (fun b ->
+                let sep = Rect.separation a b in
+                if (not (Rect.overlaps a b)) && sep < s then
+                  add (Rules.Min_spacing (la, lb, s)) a
+                    (Printf.sprintf "to %s on %s: %d < %d" (Rect.to_string b)
+                       (Layer.to_string lb) sep s))
+              rb)
+          ra
+      end)
+    [ (Layer.Poly, Layer.Diffusion) ];
+  (* Enclosure. *)
+  List.iter
+    (fun (inner, outer) ->
+      let m = Rules.enclosure ~inner ~outer in
+      if m > 0 then begin
+        let outers = by_layer.(Layer.index outer) in
+        List.iter
+          (fun r ->
+            if not (covered (Rect.inflate m r) outers) then
+              add
+                (Rules.Min_enclosure (inner, outer, m))
+                r
+                (Printf.sprintf "not enclosed by %s with margin %d"
+                   (Layer.to_string outer) m))
+          by_layer.(Layer.index inner)
+      end)
+    [ (Layer.Contact, Layer.Metal); (Layer.Glass, Layer.Metal) ];
+  List.rev !violations
+
+let check cell = check_flat (Flatten.run cell)
+
+let is_clean cell = check cell = []
+
+let pp_violation ppf v =
+  Format.fprintf ppf "%a at %a: %s" Rules.pp_rule v.rule Rect.pp v.where v.detail
+
+let report ppf = function
+  | [] -> Format.fprintf ppf "DRC clean@."
+  | vs ->
+    Format.fprintf ppf "%d DRC violations:@." (List.length vs);
+    List.iter (fun v -> Format.fprintf ppf "  %a@." pp_violation v) vs

@@ -1,0 +1,38 @@
+(** Lambda design-rule checking.
+
+    The checker flattens a cell and verifies the {!Sc_tech.Rules.deck}:
+
+    - minimum width per rectangle (the 1979-era rectangle discipline:
+      generators draw features as rectangles of legal width, so rectangle
+      granularity is the right check);
+    - minimum spacing between *electrically distinct* groups on a layer —
+      rectangles that touch or overlap are merged into one group first, so
+      abutting tiles of one wire are never flagged against each other;
+    - cross-layer spacing (e.g. poly to unrelated diffusion), where shapes
+      with interior overlap are exempt because a poly-over-diffusion
+      crossing is a transistor, not a violation (edge abutment without
+      overlap is still flagged);
+    - enclosure (contact cuts inside metal, glass inside pad metal).
+
+    Checking is O(n log n + k) by plane-sweep over x with an active set. *)
+
+open Sc_geom
+open Sc_tech
+open Sc_layout
+
+type violation =
+  { rule : Rules.rule
+  ; where : Rect.t  (** a rectangle that witnesses the violation *)
+  ; detail : string
+  }
+
+val check : Cell.t -> violation list
+
+(** [check_flat boxes] runs the deck on already flattened geometry. *)
+val check_flat : Flatten.flat_box list -> violation list
+
+val is_clean : Cell.t -> bool
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val report : Format.formatter -> violation list -> unit

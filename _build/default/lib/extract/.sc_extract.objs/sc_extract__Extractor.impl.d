@@ -1,0 +1,1 @@
+lib/extract/extractor.ml: Array Cell Flatten Format Hashtbl Int Layer List Rect Sc_geom Sc_layout Sc_tech

@@ -1,0 +1,1 @@
+lib/extract/switch.ml: Array Extractor List

@@ -1,0 +1,1 @@
+lib/extract/switch.mli: Extractor Sc_layout

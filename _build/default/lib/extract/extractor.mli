@@ -1,0 +1,44 @@
+(** Circuit extraction from mask geometry.
+
+    The inverse of the compiler: given artwork, recover the transistor
+    netlist it implements.  This closes the loop the paper's final
+    paragraph asks for — verification by simulation — at the strongest
+    level: the *artwork itself* is simulated (see {!Switch}), not the
+    netlist it was generated from.
+
+    The electrical model is scalable NMOS:
+
+    - conductors are connected regions of metal, poly, and diffusion
+      (diffusion is first severed wherever poly crosses it — those
+      crossings are the transistor channels);
+    - contact cuts join metal to the poly or diffusion under them;
+      buried contacts join poly to diffusion directly;
+    - every poly-over-diffusion crossing is a transistor: gate = the poly
+      region, source/drain = the two severed diffusion regions flanking
+      the channel; an implant over the channel marks depletion mode.
+
+    Extraction warns (rather than fails) on analog oddities: a channel
+    with fewer or more than two flanking diffusion regions, or a device
+    none of whose terminals reach a named port. *)
+
+type device =
+  { gate : int  (** node id *)
+  ; terminals : int list  (** distinct source/drain node ids (normally 2) *)
+  ; depletion : bool
+  }
+
+type netlist =
+  { node_count : int
+  ; devices : device list
+  ; named : (string * int) list  (** port name -> node id *)
+  ; warnings : string list
+  }
+
+(** [extract cell] flattens and extracts. *)
+val extract : Sc_layout.Cell.t -> netlist
+
+(** [node_of t name] — node of a named port.
+    @raise Not_found when absent. *)
+val node_of : netlist -> string -> int
+
+val pp : Format.formatter -> netlist -> unit

@@ -1,0 +1,123 @@
+type value = V0 | V1 | VX
+
+type conduct = On | Off | Maybe
+
+let simulate (net : Extractor.netlist) ~vdd ~gnd ~inputs =
+  let n = net.Extractor.node_count in
+  let values = Array.make n VX in
+  let fixed = Array.make n false in
+  let fix node v =
+    if node >= 0 && node < n then begin
+      values.(node) <- v;
+      fixed.(node) <- true
+    end
+  in
+  fix vdd V1;
+  fix gnd V0;
+  List.iter (fun (node, v) -> fix node v) inputs;
+  (* adjacency through devices; device state recomputed each pass *)
+  let device_state (d : Extractor.device) =
+    if d.Extractor.depletion then On
+    else if d.Extractor.gate < 0 then Maybe
+    else
+      match values.(d.Extractor.gate) with
+      | V1 -> On
+      | V0 -> Off
+      | VX -> Maybe
+  in
+  (* reachable ~seed ~strict: nodes connected to [seed] through devices
+     that are On (strict) or On/Maybe (not strict); conduction does not
+     pass THROUGH fixed nodes *)
+  let reachable ~seed ~strict =
+    let seen = Array.make n false in
+    if seed >= 0 && seed < n then seen.(seed) <- true;
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      List.iter
+        (fun (d : Extractor.device) ->
+          let ok =
+            match device_state d with
+            | On -> true
+            | Maybe -> not strict
+            | Off -> false
+          in
+          if ok then
+            (* a conducting channel joins all its terminals pairwise *)
+            let ts = d.Extractor.terminals in
+            let any_seen =
+              List.exists (fun t -> t >= 0 && seen.(t)) ts
+            in
+            if any_seen then
+              List.iter
+                (fun t ->
+                  if
+                    t >= 0 && (not seen.(t))
+                    && ((not fixed.(t)) || t = seed)
+                  then begin
+                    (* we may arrive AT a fixed node but not pass through;
+                       arriving at a fixed node is only meaningful for
+                       seeds, so skip marking other fixed nodes *)
+                    if not fixed.(t) then begin
+                      seen.(t) <- true;
+                      changed := true
+                    end
+                  end)
+                ts)
+        net.Extractor.devices
+    done;
+    seen
+  in
+  let rec settle budget =
+    if budget = 0 then ()
+    else begin
+      let set0 = reachable ~seed:gnd ~strict:true in
+      let set0x = reachable ~seed:gnd ~strict:false in
+      let set1 = reachable ~seed:vdd ~strict:true in
+      let set1x = reachable ~seed:vdd ~strict:false in
+      let changed = ref false in
+      for node = 0 to n - 1 do
+        if not fixed.(node) then begin
+          let v =
+            if set0.(node) then V0
+            else if set0x.(node) then VX
+            else if set1.(node) then V1
+            else if set1x.(node) then VX
+            else VX
+          in
+          if values.(node) <> v then begin
+            values.(node) <- v;
+            changed := true
+          end
+        end
+      done;
+      if !changed then settle (budget - 1)
+    end
+  in
+  settle (n + List.length net.Extractor.devices + 4);
+  values
+
+let verify_logic cell ~inputs ~outputs spec =
+  let net = Extractor.extract cell in
+  let vdd = Extractor.node_of net "vdd" in
+  let gnd = Extractor.node_of net "gnd" in
+  let in_nodes = List.map (Extractor.node_of net) inputs in
+  let out_nodes = List.map (Extractor.node_of net) outputs in
+  let k = List.length inputs in
+  let ok = ref true in
+  for v = 0 to (1 lsl k) - 1 do
+    let bits = Array.init k (fun i -> v land (1 lsl i) <> 0) in
+    let drive =
+      List.mapi
+        (fun i node -> (node, if bits.(i) then V1 else V0))
+        in_nodes
+    in
+    let values = simulate net ~vdd ~gnd ~inputs:drive in
+    let expected = spec bits in
+    List.iteri
+      (fun o node ->
+        let want = if expected.(o) then V1 else V0 in
+        if values.(node) <> want then ok := false)
+      out_nodes
+  done;
+  !ok

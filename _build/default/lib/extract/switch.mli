@@ -1,0 +1,33 @@
+(** Switch-level simulation of extracted NMOS netlists.
+
+    The ratioed-NMOS value model: a node connected to GND through a path
+    of conducting transistors is 0 (pulldowns always win); a node
+    connected only to VDD (usually through its depletion load) is 1;
+    a node whose only ground path runs through an X-gated switch is X.
+    Enhancement devices conduct when their gate is 1; depletion devices
+    always conduct (they are the loads).  Rails and driven inputs are
+    fixed and block conduction paths (they are low-impedance sources).
+
+    Evaluation iterates to a fixpoint, since node values gate other
+    devices. *)
+
+type value = V0 | V1 | VX
+
+(** [simulate net ~vdd ~gnd ~inputs] — node values at the fixpoint.
+    [inputs] fixes nodes (usually the poly gate ports). *)
+val simulate :
+  Extractor.netlist -> vdd:int -> gnd:int -> inputs:(int * value) list ->
+  value array
+
+(** [verify_logic cell ~inputs ~outputs spec] — exhaustively drive the
+    named input ports of [cell]'s extracted netlist and check that every
+    named output matches [spec bits] (bit i = input i).  This is
+    layout-versus-specification: the artwork itself computes.
+    Requires ports named "vdd" and "gnd".
+    @raise Not_found if a port is missing. *)
+val verify_logic :
+  Sc_layout.Cell.t ->
+  inputs:string list ->
+  outputs:string list ->
+  (bool array -> bool array) ->
+  bool

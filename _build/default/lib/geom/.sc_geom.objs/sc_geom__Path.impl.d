@@ -1,0 +1,1 @@
+lib/geom/path.ml: Format List Point Rect Transform

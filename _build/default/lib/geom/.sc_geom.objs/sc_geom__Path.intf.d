@@ -1,0 +1,1 @@
+lib/geom/path.mli: Format Point Rect Transform

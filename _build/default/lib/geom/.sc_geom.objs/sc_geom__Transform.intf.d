@@ -1,0 +1,1 @@
+lib/geom/transform.mli: Format Point Rect

@@ -1,0 +1,94 @@
+type t = { xmin : int; ymin : int; xmax : int; ymax : int }
+
+let make x0 y0 x1 y1 =
+  { xmin = min x0 x1; ymin = min y0 y1; xmax = max x0 x1; ymax = max y0 y1 }
+
+let of_center_wh ~cx ~cy ~w ~h =
+  assert (w >= 0 && h >= 0);
+  (* Centre coordinates are doubled-grid safe only for even w/h; we bias the
+     extra unit to the positive side so that generators stay deterministic. *)
+  let x0 = cx - (w / 2) and y0 = cy - (h / 2) in
+  { xmin = x0; ymin = y0; xmax = x0 + w; ymax = y0 + h }
+
+let of_corner_wh ~x ~y ~w ~h =
+  assert (w >= 0 && h >= 0);
+  { xmin = x; ymin = y; xmax = x + w; ymax = y + h }
+
+let width r = r.xmax - r.xmin
+let height r = r.ymax - r.ymin
+let area r = width r * height r
+let is_empty r = width r = 0 || height r = 0
+
+let center r =
+  Point.make ((r.xmin + r.xmax) / 2) ((r.ymin + r.ymax) / 2)
+
+let corners r = (Point.make r.xmin r.ymin, Point.make r.xmax r.ymax)
+
+let translate (p : Point.t) r =
+  { xmin = r.xmin + p.x
+  ; ymin = r.ymin + p.y
+  ; xmax = r.xmax + p.x
+  ; ymax = r.ymax + p.y
+  }
+
+let inflate d r =
+  let x0 = r.xmin - d and x1 = r.xmax + d in
+  let y0 = r.ymin - d and y1 = r.ymax + d in
+  if x0 <= x1 && y0 <= y1 then { xmin = x0; ymin = y0; xmax = x1; ymax = y1 }
+  else
+    let c = center r in
+    { xmin = c.Point.x; ymin = c.Point.y; xmax = c.Point.x; ymax = c.Point.y }
+
+let overlaps a b =
+  a.xmin < b.xmax && b.xmin < a.xmax && a.ymin < b.ymax && b.ymin < a.ymax
+
+let touches_or_overlaps a b =
+  a.xmin <= b.xmax && b.xmin <= a.xmax && a.ymin <= b.ymax && b.ymin <= a.ymax
+
+let contains_point r (p : Point.t) =
+  r.xmin <= p.x && p.x <= r.xmax && r.ymin <= p.y && p.y <= r.ymax
+
+let contains outer inner =
+  outer.xmin <= inner.xmin && outer.ymin <= inner.ymin
+  && inner.xmax <= outer.xmax && inner.ymax <= outer.ymax
+
+let inter a b =
+  if overlaps a b then
+    Some
+      { xmin = max a.xmin b.xmin
+      ; ymin = max a.ymin b.ymin
+      ; xmax = min a.xmax b.xmax
+      ; ymax = min a.ymax b.ymax
+      }
+  else None
+
+let union_bbox a b =
+  { xmin = min a.xmin b.xmin
+  ; ymin = min a.ymin b.ymin
+  ; xmax = max a.xmax b.xmax
+  ; ymax = max a.ymax b.ymax
+  }
+
+let separation a b =
+  let gap lo1 hi1 lo2 hi2 = max 0 (max (lo2 - hi1) (lo1 - hi2)) in
+  let dx = gap a.xmin a.xmax b.xmin b.xmax in
+  let dy = gap a.ymin a.ymax b.ymin b.ymax in
+  max dx dy
+
+let equal a b =
+  a.xmin = b.xmin && a.ymin = b.ymin && a.xmax = b.xmax && a.ymax = b.ymax
+
+let compare a b =
+  let c = Int.compare a.xmin b.xmin in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.ymin b.ymin in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.xmax b.xmax in
+      if c <> 0 then c else Int.compare a.ymax b.ymax
+
+let pp ppf r =
+  Format.fprintf ppf "[%d,%d..%d,%d]" r.xmin r.ymin r.xmax r.ymax
+
+let to_string r = Format.asprintf "%a" pp r

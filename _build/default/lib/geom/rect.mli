@@ -1,0 +1,67 @@
+(** Axis-aligned integer rectangles.
+
+    Rectangles are kept normalized: [xmin <= xmax] and [ymin <= ymax].
+    A rectangle with zero width or height is degenerate; [is_empty]
+    reports it.  Most of the layout database is built from rectangles,
+    as was usual for NMOS Mead–Conway artwork. *)
+
+type t = private { xmin : int; ymin : int; xmax : int; ymax : int }
+
+(** [make x0 y0 x1 y1] normalizes the corner order. *)
+val make : int -> int -> int -> int -> t
+
+(** [of_center_wh ~cx ~cy ~w ~h] builds the rectangle centred at
+    [(cx, cy)].  Width and height must be non-negative. *)
+val of_center_wh : cx:int -> cy:int -> w:int -> h:int -> t
+
+(** [of_corner_wh ~x ~y ~w ~h] builds the rectangle whose lower-left
+    corner is [(x, y)]. *)
+val of_corner_wh : x:int -> y:int -> w:int -> h:int -> t
+
+val width : t -> int
+
+val height : t -> int
+
+val area : t -> int
+
+val is_empty : t -> bool
+
+val center : t -> Point.t
+
+val corners : t -> Point.t * Point.t
+(** Lower-left and upper-right corners. *)
+
+val translate : Point.t -> t -> t
+
+(** [inflate d r] grows the rectangle by [d] on every side ([d] may be
+    negative; the result is clamped to a degenerate rectangle at the
+    centre rather than denormalizing). *)
+val inflate : int -> t -> t
+
+val overlaps : t -> t -> bool
+(** Strict interior overlap: touching edges do not count. *)
+
+val touches_or_overlaps : t -> t -> bool
+
+val contains_point : t -> Point.t -> bool
+
+val contains : t -> t -> bool
+(** [contains outer inner]. *)
+
+val inter : t -> t -> t option
+(** Intersection, [None] if the interiors are disjoint. *)
+
+val union_bbox : t -> t -> t
+
+(** [separation a b] is the Euclidean-free rectilinear separation used by
+    design-rule checking: the maximum of the x-gap and y-gap between the
+    two rectangles, 0 when they touch or overlap. *)
+val separation : t -> t -> int
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

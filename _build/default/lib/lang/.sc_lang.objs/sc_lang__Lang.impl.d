@@ -1,0 +1,1 @@
+lib/lang/lang.ml: Cell Compose Format Fun Hashtbl Layer List Path Point Printf Rect Sc_geom Sc_layout Sc_netlist Sc_stdcell Sc_tech String Transform

@@ -1,0 +1,622 @@
+open Sc_geom
+open Sc_tech
+open Sc_layout
+
+type error = { message : string; line : int }
+
+let error_to_string e = Printf.sprintf "line %d: %s" e.line e.message
+
+exception Err of error
+
+let fail line fmt = Format.kasprintf (fun s -> raise (Err { message = s; line })) fmt
+
+(* --- lexer --- *)
+
+type token =
+  | Tident of string
+  | Tint of int
+  | Tsym of string
+  | Teof
+
+let keywords =
+  [ "cell"; "let"; "for"; "to"; "if"; "else"; "inst"; "at"; "orient"; "box"
+  ; "wire"; "port"
+  ]
+
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let line = ref 1 in
+  let pos = ref 0 in
+  let emit t = toks := (t, !line) :: !toks in
+  let is_ident c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+    || c = '_'
+  in
+  while !pos < n do
+    let c = src.[!pos] in
+    if c = '\n' then begin
+      incr line;
+      incr pos
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr pos
+    else if c = '-' && !pos + 1 < n && src.[!pos + 1] = '-' then
+      while !pos < n && src.[!pos] <> '\n' do
+        incr pos
+      done
+    else if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' then begin
+      let start = !pos in
+      while !pos < n && is_ident src.[!pos] do
+        incr pos
+      done;
+      emit (Tident (String.sub src start (!pos - start)))
+    end
+    else if c >= '0' && c <= '9' then begin
+      let start = !pos in
+      while !pos < n && src.[!pos] >= '0' && src.[!pos] <= '9' do
+        incr pos
+      done;
+      emit (Tint (int_of_string (String.sub src start (!pos - start))))
+    end
+    else begin
+      let two = if !pos + 1 < n then String.sub src !pos 2 else "" in
+      match two with
+      | "==" | "!=" | "<=" | ">=" ->
+        emit (Tsym two);
+        pos := !pos + 2
+      | _ -> (
+        match c with
+        | '{' | '}' | '(' | ')' | ',' | ';' | '=' | '+' | '-' | '*' | '/'
+        | '<' | '>' | '%' ->
+          emit (Tsym (String.make 1 c));
+          incr pos
+        | _ -> fail !line "unexpected character %C" c)
+    end
+  done;
+  emit Teof;
+  List.rev !toks
+
+(* --- AST --- *)
+
+type expr =
+  | Eint of int
+  | Evar of string
+  | Ebin of string * expr * expr
+  | Eneg of expr
+  | Ecall of string * expr list * int  (** call site line *)
+
+type stmt =
+  | Sbox of string * expr * expr * expr * expr * int
+  | Swire of string * expr * (expr * expr) list * int
+  | Sinst of expr * (expr * expr) option * string option * int
+  | Sport of string * string * expr * expr * expr * expr * int
+  | Slet of string * expr
+  | Sfor of string * expr * expr * stmt list * int
+  | Sif of expr * stmt list * stmt list
+
+type celldef = { cname : string; params : string list; body : stmt list; cline : int }
+
+(* --- parser --- *)
+
+type pstate = { mutable toks : (token * int) list }
+
+let peek st = match st.toks with (t, _) :: _ -> t | [] -> Teof
+let line_of st = match st.toks with (_, l) :: _ -> l | [] -> 0
+let advance st = match st.toks with _ :: r -> st.toks <- r | [] -> ()
+
+let expect_sym st s =
+  match peek st with
+  | Tsym s' when s = s' -> advance st
+  | _ -> fail (line_of st) "expected %S" s
+
+let expect_kw st k =
+  match peek st with
+  | Tident i when i = k -> advance st
+  | _ -> fail (line_of st) "expected %S" k
+
+let expect_ident st =
+  match peek st with
+  | Tident i when not (List.mem i keywords) ->
+    advance st;
+    i
+  | _ -> fail (line_of st) "expected identifier"
+
+let rec parse_cmp st =
+  let a = parse_add st in
+  match peek st with
+  | Tsym (("==" | "!=" | "<" | ">" | "<=" | ">=") as op) ->
+    advance st;
+    Ebin (op, a, parse_add st)
+  | _ -> a
+
+and parse_add st =
+  let rec loop a =
+    match peek st with
+    | Tsym (("+" | "-") as op) ->
+      advance st;
+      loop (Ebin (op, a, parse_mul st))
+    | _ -> a
+  in
+  loop (parse_mul st)
+
+and parse_mul st =
+  let rec loop a =
+    match peek st with
+    | Tsym (("*" | "/" | "%") as op) ->
+      advance st;
+      loop (Ebin (op, a, parse_atom st))
+    | _ -> a
+  in
+  loop (parse_atom st)
+
+and parse_atom st =
+  match peek st with
+  | Tint v ->
+    advance st;
+    Eint v
+  | Tsym "-" ->
+    advance st;
+    Eneg (parse_atom st)
+  | Tsym "(" ->
+    advance st;
+    let e = parse_cmp st in
+    expect_sym st ")";
+    e
+  | Tident i when not (List.mem i keywords) -> (
+    let ln = line_of st in
+    advance st;
+    match peek st with
+    | Tsym "(" ->
+      advance st;
+      let args = ref [] in
+      (match peek st with
+      | Tsym ")" -> advance st
+      | _ ->
+        let rec loop () =
+          args := parse_cmp st :: !args;
+          match peek st with
+          | Tsym "," ->
+            advance st;
+            loop ()
+          | _ -> expect_sym st ")"
+        in
+        loop ());
+      Ecall (i, List.rev !args, ln)
+    | _ -> Evar i)
+  | _ -> fail (line_of st) "expected expression"
+
+let parse_point st =
+  expect_sym st "(";
+  let x = parse_cmp st in
+  expect_sym st ",";
+  let y = parse_cmp st in
+  expect_sym st ")";
+  (x, y)
+
+let rec parse_stmt st =
+  let ln = line_of st in
+  match peek st with
+  | Tident "box" ->
+    advance st;
+    let layer = expect_ident st in
+    let x0 = parse_cmp st in
+    let y0 = parse_cmp st in
+    let x1 = parse_cmp st in
+    let y1 = parse_cmp st in
+    expect_sym st ";";
+    Sbox (layer, x0, y0, x1, y1, ln)
+  | Tident "wire" ->
+    advance st;
+    let layer = expect_ident st in
+    let w = parse_cmp st in
+    let pts = ref [] in
+    while peek st = Tsym "(" do
+      pts := parse_point st :: !pts
+    done;
+    expect_sym st ";";
+    Swire (layer, w, List.rev !pts, ln)
+  | Tident "inst" ->
+    advance st;
+    let e = parse_cmp st in
+    let at =
+      match peek st with
+      | Tident "at" ->
+        advance st;
+        Some (parse_point st)
+      | _ -> None
+    in
+    let orient =
+      match peek st with
+      | Tident "orient" ->
+        advance st;
+        Some (expect_ident st)
+      | _ -> None
+    in
+    expect_sym st ";";
+    Sinst (e, at, orient, ln)
+  | Tident "port" ->
+    advance st;
+    let name = expect_ident st in
+    let layer = expect_ident st in
+    let x0 = parse_cmp st in
+    let y0 = parse_cmp st in
+    let x1 = parse_cmp st in
+    let y1 = parse_cmp st in
+    expect_sym st ";";
+    Sport (name, layer, x0, y0, x1, y1, ln)
+  | Tident "let" ->
+    advance st;
+    let name = expect_ident st in
+    expect_sym st "=";
+    let e = parse_cmp st in
+    expect_sym st ";";
+    Slet (name, e)
+  | Tident "for" ->
+    advance st;
+    let v = expect_ident st in
+    expect_sym st "=";
+    let lo = parse_cmp st in
+    expect_kw st "to";
+    let hi = parse_cmp st in
+    let body = parse_block st in
+    Sfor (v, lo, hi, body, ln)
+  | Tident "if" ->
+    advance st;
+    let c = parse_cmp st in
+    let t = parse_block st in
+    let e =
+      match peek st with
+      | Tident "else" ->
+        advance st;
+        parse_block st
+      | _ -> []
+    in
+    Sif (c, t, e)
+  | _ -> fail ln "expected statement"
+
+and parse_block st =
+  expect_sym st "{";
+  let acc = ref [] in
+  while peek st <> Tsym "}" && peek st <> Teof do
+    acc := parse_stmt st :: !acc
+  done;
+  expect_sym st "}";
+  List.rev !acc
+
+let parse_program st =
+  let cells = ref [] in
+  while peek st <> Teof do
+    let ln = line_of st in
+    expect_kw st "cell";
+    let name = expect_ident st in
+    expect_sym st "(";
+    let params = ref [] in
+    (match peek st with
+    | Tsym ")" -> advance st
+    | _ ->
+      let rec loop () =
+        params := expect_ident st :: !params;
+        match peek st with
+        | Tsym "," ->
+          advance st;
+          loop ()
+        | _ -> expect_sym st ")"
+      in
+      loop ());
+    let body = parse_block st in
+    cells := { cname = name; params = List.rev !params; body; cline = ln } :: !cells
+  done;
+  List.rev !cells
+
+(* --- evaluator --- *)
+
+type value = Vint of int | Vcell of Cell.t
+
+let layer_of_name ln = function
+  | "diff" -> Layer.Diffusion
+  | "poly" -> Layer.Poly
+  | "contact" -> Layer.Contact
+  | "metal" -> Layer.Metal
+  | "implant" -> Layer.Implant
+  | "buried" -> Layer.Buried
+  | "glass" -> Layer.Glass
+  | l -> fail ln "unknown layer %S" l
+
+let stdcell_builtins =
+  [ ("inv", Sc_netlist.Gate.Inv)
+  ; ("buf", Sc_netlist.Gate.Buf)
+  ; ("nand2", Sc_netlist.Gate.Nand2)
+  ; ("nand3", Sc_netlist.Gate.Nand3)
+  ; ("nor2", Sc_netlist.Gate.Nor2)
+  ; ("nor3", Sc_netlist.Gate.Nor3)
+  ; ("and2", Sc_netlist.Gate.And2)
+  ; ("or2", Sc_netlist.Gate.Or2)
+  ; ("xor2", Sc_netlist.Gate.Xor2)
+  ; ("xnor2", Sc_netlist.Gate.Xnor2)
+  ; ("mux2", Sc_netlist.Gate.Mux2)
+  ; ("dff", Sc_netlist.Gate.Dff)
+  ; ("dffe", Sc_netlist.Gate.Dffe)
+  ]
+
+type env =
+  { cells : (string, celldef) Hashtbl.t
+  ; memo : (string, Cell.t) Hashtbl.t
+  ; mutable steps : int
+  ; mutable depth : int
+  }
+
+let max_steps = 2_000_000
+let max_depth = 64
+
+let tick env ln =
+  env.steps <- env.steps + 1;
+  if env.steps > max_steps then fail ln "evaluation budget exceeded"
+
+let rec eval_expr env vars e : value =
+  match e with
+  | Eint v -> Vint v
+  | Evar n -> (
+    match List.assoc_opt n vars with
+    | Some v -> v
+    | None -> fail 0 "unbound variable %S" n)
+  | Eneg e' -> (
+    match eval_expr env vars e' with
+    | Vint v -> Vint (-v)
+    | Vcell _ -> fail 0 "cannot negate a cell")
+  | Ebin (op, a, b) -> (
+    let va = eval_expr env vars a and vb = eval_expr env vars b in
+    match (va, vb) with
+    | Vint x, Vint y ->
+      let r =
+        match op with
+        | "+" -> x + y
+        | "-" -> x - y
+        | "*" -> x * y
+        | "/" ->
+          if y = 0 then fail 0 "division by zero";
+          x / y
+        | "%" ->
+          if y = 0 then fail 0 "division by zero";
+          x mod y
+        | "==" -> if x = y then 1 else 0
+        | "!=" -> if x <> y then 1 else 0
+        | "<" -> if x < y then 1 else 0
+        | ">" -> if x > y then 1 else 0
+        | "<=" -> if x <= y then 1 else 0
+        | ">=" -> if x >= y then 1 else 0
+        | _ -> fail 0 "unknown operator %S" op
+      in
+      Vint r
+    | _ -> fail 0 "operator %S needs integers" op)
+  | Ecall (name, args, ln) -> eval_call env vars name args ln
+
+and eval_call env vars name args ln =
+  tick env ln;
+  let values = List.map (eval_expr env vars) args in
+  let int_arg i =
+    match List.nth_opt values i with
+    | Some (Vint v) -> v
+    | _ -> fail ln "%s: argument %d must be an integer" name (i + 1)
+  in
+  let cell_arg i =
+    match List.nth_opt values i with
+    | Some (Vcell c) -> c
+    | _ -> fail ln "%s: argument %d must be a cell" name (i + 1)
+  in
+  let arity k =
+    if List.length values <> k then
+      fail ln "%s expects %d arguments, got %d" name k (List.length values)
+  in
+  match List.assoc_opt name stdcell_builtins with
+  | Some kind ->
+    arity 0;
+    Vcell (Sc_stdcell.Library.layout_of kind)
+  | None -> (
+    match name with
+    | "beside" ->
+      arity 2;
+      Vcell (Compose.beside ~name:"beside" (cell_arg 0) (cell_arg 1))
+    | "above" ->
+      arity 2;
+      Vcell (Compose.above ~name:"above" (cell_arg 0) (cell_arg 1))
+    | "rowof" ->
+      arity 2;
+      let n = int_arg 0 in
+      if n < 1 then fail ln "rowof: count must be positive";
+      Vcell (Compose.row ~name:"rowof" (List.init n (fun _ -> cell_arg 1)))
+    | "arrayof" ->
+      arity 3;
+      let nx = int_arg 0 and ny = int_arg 1 in
+      if nx < 1 || ny < 1 then fail ln "arrayof: counts must be positive";
+      Vcell (Compose.array ~name:"arrayof" ~nx ~ny (cell_arg 2))
+    | "width" ->
+      arity 1;
+      Vint (Cell.width (cell_arg 0))
+    | "height" ->
+      arity 1;
+      Vint (Cell.height (cell_arg 0))
+    | _ -> (
+      match Hashtbl.find_opt env.cells name with
+      | None -> fail ln "unknown cell or function %S" name
+      | Some def ->
+        if List.length values <> List.length def.params then
+          fail ln "cell %s expects %d arguments, got %d" name
+            (List.length def.params) (List.length values);
+        (* share evaluated definitions: same cell + same integer actuals
+           yield the same Cell.t, so instances share one CIF symbol *)
+        let key =
+          if List.for_all (function Vint _ -> true | _ -> false) values then
+            Some
+              (name ^ "("
+              ^ String.concat ","
+                  (List.map
+                     (function Vint v -> string_of_int v | _ -> assert false)
+                     values)
+              ^ ")")
+          else None
+        in
+        (match key with
+        | Some k when Hashtbl.mem env.memo k -> Vcell (Hashtbl.find env.memo k)
+        | _ ->
+          env.depth <- env.depth + 1;
+          if env.depth > max_depth then fail ln "cell nesting too deep";
+          let cell = eval_cell env def values in
+          env.depth <- env.depth - 1;
+          (match key with Some k -> Hashtbl.replace env.memo k cell | None -> ());
+          Vcell cell)))
+
+and eval_cell env def values =
+  let vars = List.combine def.params values in
+  let elements = ref [] in
+  let instances = ref [] in
+  let ports = ref [] in
+  let counter = ref 0 in
+  let int_of vars e ln what =
+    match eval_expr env vars e with
+    | Vint v -> v
+    | Vcell _ -> fail ln "%s must be an integer" what
+  in
+  let rec exec vars stmts = List.fold_left exec_stmt vars stmts
+  and exec_stmt vars stmt =
+    (match stmt with
+    | Slet _ -> ()
+    | Sbox (_, _, _, _, _, ln)
+    | Swire (_, _, _, ln)
+    | Sinst (_, _, _, ln)
+    | Sport (_, _, _, _, _, _, ln)
+    | Sfor (_, _, _, _, ln) -> tick env ln
+    | Sif _ -> ());
+    match stmt with
+    | Sbox (layer, x0, y0, x1, y1, ln) ->
+      let l = layer_of_name ln layer in
+      let r =
+        Rect.make (int_of vars x0 ln "box") (int_of vars y0 ln "box")
+          (int_of vars x1 ln "box") (int_of vars y1 ln "box")
+      in
+      elements := Cell.box l r :: !elements;
+      vars
+    | Swire (layer, w, pts, ln) ->
+      let l = layer_of_name ln layer in
+      let width = int_of vars w ln "wire width" in
+      if width <= 0 || width mod 2 <> 0 then
+        fail ln "wire width must be positive and even";
+      let points =
+        List.map
+          (fun (x, y) ->
+            Point.make (int_of vars x ln "wire point") (int_of vars y ln "wire point"))
+          pts
+      in
+      if List.length points < 2 then fail ln "wire needs at least two points";
+      let path = Path.make ~width points in
+      if not (Path.is_manhattan path) then fail ln "wire must be Manhattan";
+      elements := Cell.Wire (l, path) :: !elements;
+      vars
+    | Sinst (e, at, orient, ln) ->
+      let cell =
+        match eval_expr env vars e with
+        | Vcell c -> c
+        | Vint _ -> fail ln "inst needs a cell"
+      in
+      let shift =
+        match at with
+        | Some (x, y) ->
+          Point.make (int_of vars x ln "inst at") (int_of vars y ln "inst at")
+        | None -> Point.origin
+      in
+      let o =
+        match orient with
+        | None -> Transform.R0
+        | Some s -> (
+          match Transform.orient_of_string s with
+          | Some o -> o
+          | None -> fail ln "unknown orientation %S" s)
+      in
+      incr counter;
+      instances :=
+        Cell.instantiate
+          ~name:(Printf.sprintf "i%d" !counter)
+          ~trans:(Transform.make ~orient:o shift)
+          cell
+        :: !instances;
+      vars
+    | Sport (pname, layer, x0, y0, x1, y1, ln) ->
+      let l = layer_of_name ln layer in
+      let r =
+        Rect.make (int_of vars x0 ln "port") (int_of vars y0 ln "port")
+          (int_of vars x1 ln "port") (int_of vars y1 ln "port")
+      in
+      if List.exists (fun (p : Cell.port) -> p.pname = pname) !ports then
+        fail ln "duplicate port %S" pname;
+      ports := Cell.port pname l r :: !ports;
+      vars
+    | Slet (n, e) -> (n, eval_expr env vars e) :: vars
+    | Sfor (v, lo, hi, body, ln) ->
+      let lo = int_of vars lo ln "for bound" and hi = int_of vars hi ln "for bound" in
+      for i = lo to hi do
+        ignore (exec ((v, Vint i) :: vars) body)
+      done;
+      vars
+    | Sif (c, t, e) ->
+      let cond =
+        match eval_expr env vars c with
+        | Vint v -> v <> 0
+        | Vcell _ -> fail 0 "if condition must be an integer"
+      in
+      ignore (exec vars (if cond then t else e));
+      vars
+  in
+  ignore (exec vars def.body);
+  let name =
+    match values with
+    | [] -> def.cname
+    | _ ->
+      def.cname ^ "_"
+      ^ String.concat "_"
+          (List.map
+             (function Vint v -> string_of_int v | Vcell c -> c.Cell.name)
+             values)
+  in
+  Cell.make ~name ~ports:(List.rev !ports) ~instances:(List.rev !instances)
+    (List.rev !elements)
+
+let compile ?entry ?(args = []) src =
+  match
+    let defs = parse_program { toks = tokenize src } in
+    if defs = [] then fail 0 "no cells defined";
+    let env =
+      { cells = Hashtbl.create 16; memo = Hashtbl.create 16; steps = 0; depth = 0 }
+    in
+    List.iter
+      (fun d ->
+        if Hashtbl.mem env.cells d.cname then
+          fail d.cline "cell %S defined twice" d.cname;
+        if List.mem_assoc d.cname stdcell_builtins then
+          fail d.cline "cell %S shadows a builtin" d.cname;
+        Hashtbl.replace env.cells d.cname d)
+      defs;
+    let entry_def =
+      match entry with
+      | Some name -> (
+        match Hashtbl.find_opt env.cells name with
+        | Some d -> d
+        | None -> fail 0 "entry cell %S not found" name)
+      | None -> List.nth defs (List.length defs - 1)
+    in
+    if List.length args <> List.length entry_def.params then
+      fail entry_def.cline "entry cell %s expects %d arguments, got %d"
+        entry_def.cname
+        (List.length entry_def.params)
+        (List.length args);
+    eval_cell env entry_def (List.map (fun v -> Vint v) args)
+  with
+  | cell -> Ok cell
+  | exception Err e -> Error e
+
+let compile_file ?entry ?args path =
+  let ic = open_in_bin path in
+  let src =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  compile ?entry ?args src

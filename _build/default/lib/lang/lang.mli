@@ -1,0 +1,54 @@
+(** The layout language: the paper's first definition of silicon
+    compilation — "a high level graphic language for producing artwork".
+
+    Programs define parameterised cells; evaluating a program yields a
+    {!Sc_layout.Cell.t} hierarchy ready for DRC and CIF emission.  The
+    three properties the paper demands of graphics languages are all
+    present: repetition ([for] / [array]), parameterisation (cell
+    arguments and arithmetic), and hierarchy (cells instantiate cells;
+    repeated instantiations share one definition).
+
+    {2 Syntax}
+
+    {v
+    -- a row of n contacted tiles
+    cell tile(w) {
+      box metal 0 0 w 4;
+      box poly 1 6 3 6+4;
+      port a poly 1 6 3 10;
+    }
+    cell main(n) {
+      for i = 0 to n-1 {
+        inst tile(8) at (i*10, 0);
+      }
+      inst nand2() at (0, 20);      -- standard cells are built in
+      wire metal 4 (0,14) (n*10,14);
+    }
+    v}
+
+    Statements: [box LAYER x0 y0 x1 y1;], [wire LAYER width (x,y) ...;],
+    [inst EXPR at (x,y) orient R90;] (placement clauses optional),
+    [port NAME LAYER x0 y0 x1 y1;], [let NAME = EXPR;],
+    [for I = E to E { ... }], [if E { ... } else { ... }].
+
+    Expressions: integers, arithmetic [+ - * /], comparisons, cell calls
+    [name(args)], and the built-in cells [inv()], [nand2()], [nand3()],
+    [nor2()], [and2()], [or2()], [xor2()], [mux2()], [dff()], plus
+    combinators [beside(a,b)], [above(a,b)], [rowof(n, c)],
+    [arrayof(nx, ny, c)], and the measurers [width(c)], [height(c)].
+
+    Layers: [diff], [poly], [contact], [metal], [implant], [buried],
+    [glass]. *)
+
+type error = { message : string; line : int }
+
+val error_to_string : error -> string
+
+(** [compile ?entry ?args src] parses and evaluates; [entry] defaults to
+    the last cell defined (commonly ["main"]), applied to [args]
+    (default [[]]). *)
+val compile :
+  ?entry:string -> ?args:int list -> string -> (Sc_layout.Cell.t, error) result
+
+val compile_file :
+  ?entry:string -> ?args:int list -> string -> (Sc_layout.Cell.t, error) result

@@ -1,0 +1,1 @@
+lib/layout/cell.ml: Format Hashtbl Layer List Path Point Printf Rect Sc_geom Sc_tech String Transform

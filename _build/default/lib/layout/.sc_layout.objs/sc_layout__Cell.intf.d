@@ -1,0 +1,1 @@
+lib/layout/cell.mli: Format Layer Path Point Rect Sc_geom Sc_tech Transform

@@ -1,0 +1,1 @@
+lib/layout/compose.ml: Cell Flatten List Point Printf Rect Sc_geom String Transform

@@ -1,0 +1,1 @@
+lib/layout/compose.mli: Cell Sc_geom Transform

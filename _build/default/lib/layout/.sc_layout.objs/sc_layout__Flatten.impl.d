@@ -1,0 +1,1 @@
+lib/layout/flatten.ml: Array Cell Layer List Path Rect Sc_geom Sc_tech Transform

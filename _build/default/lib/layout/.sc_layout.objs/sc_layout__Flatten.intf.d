@@ -1,0 +1,1 @@
+lib/layout/flatten.mli: Cell Layer Rect Sc_geom Sc_tech

@@ -1,0 +1,1 @@
+lib/layout/render.ml: Buffer Cell Flatten Fun Int Layer List Point Printf Rect Sc_geom Sc_tech

@@ -1,0 +1,1 @@
+lib/layout/stats.ml: Array Cell Flatten Format Hashtbl Int Layer List Rect Sc_geom Sc_tech

@@ -1,0 +1,1 @@
+lib/layout/stats.mli: Cell Format Layer Sc_tech

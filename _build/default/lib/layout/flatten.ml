@@ -1,0 +1,58 @@
+open Sc_geom
+open Sc_tech
+
+type flat_box = { layer : Layer.t; rect : Rect.t }
+
+let element_boxes trans e acc =
+  match e with
+  | Cell.Box (l, r) -> { layer = l; rect = Transform.apply_rect trans r } :: acc
+  | Cell.Wire (l, p) ->
+    List.fold_left
+      (fun acc r -> { layer = l; rect = r } :: acc)
+      acc
+      (Path.to_rects (Path.transform trans p))
+
+let run root =
+  let rec go trans (c : Cell.t) acc =
+    let acc = List.fold_left (fun acc e -> element_boxes trans e acc) acc c.elements in
+    List.fold_left
+      (fun acc (i : Cell.inst) -> go (Transform.compose trans i.trans) i.cell acc)
+      acc c.instances
+  in
+  go Transform.identity root []
+
+let run_layer root l =
+  List.filter_map
+    (fun fb -> if Layer.equal fb.layer l then Some fb.rect else None)
+    (run root)
+
+let ports root =
+  let rec go prefix trans (c : Cell.t) acc =
+    let acc =
+      List.fold_left
+        (fun acc (p : Cell.port) ->
+          { p with
+            Cell.pname = (if prefix = "" then p.pname else prefix ^ "." ^ p.pname)
+          ; rect = Transform.apply_rect trans p.rect
+          }
+          :: acc)
+        acc c.ports
+    in
+    List.fold_left
+      (fun acc (i : Cell.inst) ->
+        let prefix' =
+          if prefix = "" then i.inst_name else prefix ^ "." ^ i.inst_name
+        in
+        go prefix' (Transform.compose trans i.trans) i.cell acc)
+      acc c.instances
+  in
+  go "" Transform.identity root []
+
+let layer_areas root =
+  let areas = Array.make Layer.count 0 in
+  List.iter
+    (fun fb ->
+      let i = Layer.index fb.layer in
+      areas.(i) <- areas.(i) + Rect.area fb.rect)
+    (run root);
+  areas

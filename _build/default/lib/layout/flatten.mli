@@ -1,0 +1,25 @@
+(** Flattening a cell hierarchy to mask geometry.
+
+    Flattening expands every instance transitively and returns plain
+    layer/rectangle pairs in the root coordinate system — the form needed
+    by design-rule checking and by area/transistor statistics.  Wires are
+    converted to their covering rectangles. *)
+
+open Sc_geom
+open Sc_tech
+
+type flat_box = { layer : Layer.t; rect : Rect.t }
+
+(** [run c] flattens the whole hierarchy under [c]. *)
+val run : Cell.t -> flat_box list
+
+(** [run_layer c l] keeps only layer [l]. *)
+val run_layer : Cell.t -> Layer.t -> Rect.t list
+
+(** [ports c] returns every port of every instance, transitively, in root
+    coordinates, with instance-path-qualified names ("a.b.port"). *)
+val ports : Cell.t -> Cell.port list
+
+(** Total rectangle area per layer (double-counting overlaps), indexed by
+    [Layer.index]. *)
+val layer_areas : Cell.t -> int array

@@ -1,0 +1,13 @@
+(** Rendering layouts for human inspection.
+
+    Mask artwork in the conventional Mead–Conway colours, as SVG: one
+    translucent rectangle per flattened box, layers stacked in a fixed
+    order (diffusion under poly under metal), contacts solid.  The
+    output opens in any browser — the closest thing this repository has
+    to the colour pen plots of 1979. *)
+
+(** [to_svg ?scale cell] — [scale] is pixels per lambda (default 3). *)
+val to_svg : ?scale:int -> Cell.t -> string
+
+(** [write_svg path cell] writes the rendering to a file. *)
+val write_svg : ?scale:int -> string -> Cell.t -> unit

@@ -1,0 +1,96 @@
+open Sc_geom
+open Sc_tech
+
+type t =
+  { cell_name : string
+  ; bbox_area : int
+  ; width : int
+  ; height : int
+  ; layer_area : int array
+  ; transistors : int
+  ; rects : int
+  ; cells : int
+  ; instances : int
+  }
+
+(* Gate regions = connected groups of poly/diffusion intersection
+   rectangles.  A sweep over x-sorted rectangles keeps the pair scan close
+   to linear for real layouts; the union-find merges intersections that
+   touch, so a gate drawn in several boxes is counted once. *)
+let overlap_regions polys diffs =
+  let inters = ref [] in
+  let diffs = List.sort (fun a b -> Int.compare a.Rect.xmin b.Rect.xmin) diffs in
+  List.iter
+    (fun p ->
+      List.iter
+        (fun d ->
+          if d.Rect.xmin < p.Rect.xmax && p.Rect.xmin < d.Rect.xmax then
+            match Rect.inter p d with
+            | Some r when not (Rect.is_empty r) -> inters := r :: !inters
+            | _ -> ())
+        diffs)
+    polys;
+  let rects = Array.of_list !inters in
+  let n = Array.length rects in
+  let parent = Array.init n (fun i -> i) in
+  let rec find i = if parent.(i) = i then i else find parent.(i) in
+  let union i j =
+    let ri = find i and rj = find j in
+    if ri <> rj then parent.(ri) <- rj
+  in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if Rect.touches_or_overlaps rects.(i) rects.(j) then union i j
+    done
+  done;
+  let roots = Hashtbl.create 16 in
+  for i = 0 to n - 1 do
+    Hashtbl.replace roots (find i) ()
+  done;
+  Hashtbl.length roots
+
+let transistor_count c =
+  let flat = Flatten.run c in
+  let layer l =
+    List.filter_map
+      (fun (fb : Flatten.flat_box) ->
+        if Layer.equal fb.layer l then Some fb.rect else None)
+      flat
+  in
+  overlap_regions (layer Layer.Poly) (layer Layer.Diffusion)
+
+let count_instances root =
+  let memo = Hashtbl.create 64 in
+  let rec go (c : Cell.t) =
+    match Hashtbl.find_opt memo c.id with
+    | Some n -> n
+    | None ->
+      let n =
+        List.fold_left
+          (fun acc (i : Cell.inst) -> acc + 1 + go i.cell)
+          0 c.instances
+      in
+      Hashtbl.add memo c.id n;
+      n
+  in
+  go root
+
+let measure c =
+  { cell_name = c.Cell.name
+  ; bbox_area = Cell.area c
+  ; width = Cell.width c
+  ; height = Cell.height c
+  ; layer_area = Flatten.layer_areas c
+  ; transistors = transistor_count c
+  ; rects = Cell.flat_rect_count c
+  ; cells = List.length (Cell.all_cells c)
+  ; instances = count_instances c
+  }
+
+let layer_area t l = t.layer_area.(Layer.index l)
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>cell %s: %dx%d lambda (area %d)@ transistors %d, rects %d, cells %d, insts %d@]"
+    t.cell_name t.width t.height t.bbox_area t.transistors t.rects t.cells
+    t.instances

@@ -1,0 +1,32 @@
+(** Layout statistics.
+
+    The paper's comparisons (compiled vs. manual design, E1/E2) are made in
+    terms of area and device count; this module measures both from the
+    geometry itself, so the numbers do not depend on how a layout was
+    produced. *)
+
+open Sc_tech
+
+type t =
+  { cell_name : string
+  ; bbox_area : int  (** bounding-box area, square lambda *)
+  ; width : int
+  ; height : int
+  ; layer_area : int array  (** drawn area per layer, by [Layer.index] *)
+  ; transistors : int  (** poly-diffusion crossings in the flat layout *)
+  ; rects : int  (** flattened rectangle count *)
+  ; cells : int  (** distinct cells in the hierarchy *)
+  ; instances : int  (** total instantiations, transitively *)
+  }
+
+val measure : Cell.t -> t
+
+(** [transistor_count c] counts distinct poly-over-diffusion overlap
+    regions in the flattened layout; overlapping poly rectangles over one
+    diffusion strip are merged so a gate drawn as two abutting boxes counts
+    once. *)
+val transistor_count : Cell.t -> int
+
+val layer_area : t -> Layer.t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,116 @@
+type t =
+  | Var of int
+  | Const of bool
+  | Not of t
+  | And of t list
+  | Or of t list
+  | Xor of t * t
+
+let var i = Var i
+let ( &&& ) a b = And [ a; b ]
+let ( ||| ) a b = Or [ a; b ]
+let not_ a = Not a
+let xor a b = Xor (a, b)
+
+let rec eval env = function
+  | Var i -> env i
+  | Const b -> b
+  | Not e -> not (eval env e)
+  | And es -> List.for_all (eval env) es
+  | Or es -> List.exists (eval env) es
+  | Xor (a, b) -> eval env a <> eval env b
+
+let rec num_vars = function
+  | Var i -> i + 1
+  | Const _ -> 0
+  | Not e -> num_vars e
+  | And es | Or es -> List.fold_left (fun m e -> max m (num_vars e)) 0 es
+  | Xor (a, b) -> max (num_vars a) (num_vars b)
+
+(* Symbolic SOP of an expression: a list of (positive mask, negative mask)
+   int-pair cubes.  Negation normal form first; Xor is expanded. *)
+type scube = { pos : int; neg : int }
+
+let scube_inter a b =
+  let pos = a.pos lor b.pos and neg = a.neg lor b.neg in
+  if pos land neg <> 0 then None else Some { pos; neg }
+
+let rec sop ~polarity e =
+  match (e, polarity) with
+  | Const b, true -> if b then [ { pos = 0; neg = 0 } ] else []
+  | Const b, false -> if b then [] else [ { pos = 0; neg = 0 } ]
+  | Var i, true -> [ { pos = 1 lsl i; neg = 0 } ]
+  | Var i, false -> [ { pos = 0; neg = 1 lsl i } ]
+  | Not e, pol -> sop ~polarity:(not pol) e
+  | And es, true -> product (List.map (sop ~polarity:true) es)
+  | And es, false -> List.concat_map (sop ~polarity:false) es
+  | Or es, true -> List.concat_map (sop ~polarity:true) es
+  | Or es, false -> product (List.map (sop ~polarity:false) es)
+  | Xor (a, b), true ->
+    product [ sop ~polarity:true a; sop ~polarity:false b ]
+    @ product [ sop ~polarity:false a; sop ~polarity:true b ]
+  | Xor (a, b), false ->
+    product [ sop ~polarity:true a; sop ~polarity:true b ]
+    @ product [ sop ~polarity:false a; sop ~polarity:false b ]
+
+and product = function
+  | [] -> [ { pos = 0; neg = 0 } ]
+  | first :: rest ->
+    let tail = product rest in
+    List.concat_map
+      (fun a -> List.filter_map (fun b -> scube_inter a b) tail)
+      first
+
+let to_cover ~ninputs outputs =
+  let noutputs = List.length outputs in
+  (* gather product terms, sharing identical input parts across outputs *)
+  let shared : (int * int, int ref) Hashtbl.t = Hashtbl.create 64 in
+  List.iteri
+    (fun o e ->
+      if num_vars e > ninputs then
+        invalid_arg "Expr.to_cover: variable out of range";
+      List.iter
+        (fun sc ->
+          match Hashtbl.find_opt shared (sc.pos, sc.neg) with
+          | Some mask -> mask := !mask lor (1 lsl o)
+          | None -> Hashtbl.add shared (sc.pos, sc.neg) (ref (1 lsl o)))
+        (sop ~polarity:true e))
+    outputs;
+  let cubes =
+    Hashtbl.fold
+      (fun (pos, neg) mask acc ->
+        let lits =
+          Array.init ninputs (fun i ->
+              if pos land (1 lsl i) <> 0 then Cube.One
+              else if neg land (1 lsl i) <> 0 then Cube.Zero
+              else Cube.Dash)
+        in
+        Cube.make lits !mask :: acc)
+      shared []
+  in
+  Cover.make ~ninputs ~noutputs cubes
+
+let rec pp ppf = function
+  | Var i -> Format.fprintf ppf "x%d" i
+  | Const b -> Format.fprintf ppf "%b" b
+  | Not e -> Format.fprintf ppf "!%a" pp_atom e
+  | And es ->
+    Format.fprintf ppf "(%a)"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " & ")
+         pp)
+      es
+  | Or es ->
+    Format.fprintf ppf "(%a)"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " | ")
+         pp)
+      es
+  | Xor (a, b) -> Format.fprintf ppf "(%a ^ %a)" pp a pp b
+
+and pp_atom ppf e =
+  match e with
+  | Var _ | Const _ -> pp ppf e
+  | _ -> Format.fprintf ppf "(%a)" pp e
+
+let to_string e = Format.asprintf "%a" pp e

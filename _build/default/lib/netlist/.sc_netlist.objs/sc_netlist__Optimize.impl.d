@@ -1,0 +1,1 @@
+lib/netlist/optimize.ml: Array Circuit Gate Hashtbl List Option Queue String

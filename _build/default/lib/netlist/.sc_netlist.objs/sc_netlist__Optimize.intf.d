@@ -1,0 +1,1 @@
+lib/netlist/optimize.mli: Circuit

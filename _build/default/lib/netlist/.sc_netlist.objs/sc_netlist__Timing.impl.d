@@ -1,0 +1,1 @@
+lib/netlist/timing.ml: Array Circuit Gate Hashtbl List Queue

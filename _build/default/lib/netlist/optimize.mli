@@ -1,0 +1,18 @@
+(** Netlist cleanup: the synthesizer's optimization pass.
+
+    Rewrites a circuit (flattening it first) by repeatedly applying
+
+    - constant folding (a gate whose inputs are constants becomes a
+      constant; controlling constants simplify partially, e.g.
+      [and(0,x) = 0], [or(0,x) = x], [mux(_,_,const)] selects a branch);
+    - identities ([buf x = x], [inv (inv x) = x], [xor(x,x) = 0],
+      [and(x,x) = x], [mux(a,a,s) = a]);
+    - common-subexpression elimination (two gates of the same kind on the
+      same inputs share one output; commutative inputs are normalized;
+      applies to flip-flops too, merging identical registers);
+    - dead-gate elimination (anything not reachable from an output).
+
+    The pass preserves simulation behaviour exactly (enforced by tests)
+    and is measured by the E2 ablation. *)
+
+val simplify : Circuit.t -> Circuit.t

@@ -1,0 +1,1 @@
+lib/pla/generator.ml: Array Builder Cell Circuit Cover Cube Format Layer List Minimize Printf Rect Sc_geom Sc_layout Sc_logic Sc_netlist Sc_tech

@@ -1,0 +1,1 @@
+lib/pla/generator.mli: Cover Format Sc_layout Sc_logic Sc_netlist

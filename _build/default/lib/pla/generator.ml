@@ -1,0 +1,227 @@
+open Sc_geom
+open Sc_tech
+open Sc_layout
+open Sc_logic
+open Sc_netlist
+
+type t =
+  { cover : Cover.t
+  ; layout : Cell.t
+  ; netlist : Circuit.t
+  ; rows : int
+  ; and_devices : int
+  ; or_devices : int
+  }
+
+(* Geometry: 12-lambda row and column pitch, a 14-lambda pull-up strip on
+   the left of each row, a 10-lambda metal-to-poly interface column
+   between the planes, pull-up heads above the OR columns, one shared VDD
+   rail (left column + top strip) and a full ground network — a bottom
+   GND rail, one vertical ground-diffusion column per input column in the
+   AND plane, and one ground-diffusion row per product term in the OR
+   plane, collected by a vertical ground-metal column on the right.  The
+   ground network is what lets the generated artwork be extracted and
+   simulated at switch level (see Sc_extract). *)
+let pitch = 12
+let head_w = 14
+
+(* Derived frame coordinates, shared by the generator and the area
+   predictor so they can never disagree. *)
+let frame ~ninputs ~noutputs ~terms =
+  let t = max terms 1 in
+  let ix = head_w + (2 * ninputs * pitch) in
+  let ox = ix + 10 in
+  let gx = ox + (noutputs * pitch) + 3 in
+  let yh = pitch * t in
+  (ix, ox, gx, yh)
+
+let predicted_area ~ninputs ~noutputs ~terms =
+  let _, _, gx, yh = frame ~ninputs ~noutputs ~terms in
+  (* bbox: x in 0 .. gx+4, y in -9 .. yh+12 *)
+  (gx + 4) * (yh + 12 + 9)
+
+let box l r = Cell.box l r
+
+(* metal-covered contact cut *)
+let contact x y acc =
+  box Layer.Contact (Rect.make x y (x + 2) (y + 2))
+  :: box Layer.Metal (Rect.make (x - 1) (y - 1) (x + 3) (y + 3))
+  :: acc
+
+let build_layout name (cover : Cover.t) =
+  let n = cover.Cover.ninputs in
+  let m = cover.Cover.noutputs in
+  let cubes = Array.of_list cover.Cover.cubes in
+  let t = max (Array.length cubes) 1 in
+  let ix, ox, gx, yh = frame ~ninputs:n ~noutputs:m ~terms:t in
+  let elements = ref [] in
+  let add e = elements := e :: !elements in
+  let addc x y = elements := contact x y !elements in
+  (* shared VDD: left column joined to the top strip *)
+  add (box Layer.Metal (Rect.make 0 0 3 (yh + 12)));
+  add (box Layer.Metal (Rect.make 0 (yh + 9) (gx + 4) (yh + 12)));
+  (* ground: bottom rail and the OR-plane collector column *)
+  add (box Layer.Metal (Rect.make head_w (-9) (gx + 4) (-6)));
+  if m > 0 then add (box Layer.Metal (Rect.make gx (-9) (gx + 4) (yh - 8)));
+  (* per-row structures *)
+  for r = 0 to t - 1 do
+    let y0 = r * pitch in
+    (* row head: depletion pull-up from VDD to the row line, gate tied to
+       the row through a buried contact *)
+    addc 1 (y0 + 4);
+    add (box Layer.Diffusion (Rect.make 1 (y0 + 4) 11 (y0 + 6)));
+    add (box Layer.Poly (Rect.make 5 (y0 + 1) 7 (y0 + 9)));
+    add (box Layer.Implant (Rect.make 3 (y0 + 2) 9 (y0 + 8)));
+    add (box Layer.Poly (Rect.make 7 (y0 + 3) 9 (y0 + 7)));
+    add (box Layer.Buried (Rect.make 7 (y0 + 4) 9 (y0 + 6)));
+    addc 9 (y0 + 4);
+    add (box Layer.Metal (Rect.make 8 (y0 + 3) head_w (y0 + 7)));
+    (* AND-plane row metal *)
+    add (box Layer.Metal (Rect.make head_w (y0 + 3) ix (y0 + 6)));
+    (* interface: metal row to poly row (metal stops short of the plane) *)
+    add (box Layer.Metal (Rect.make ix (y0 + 3) (ix + 8) (y0 + 6)));
+    add (box Layer.Poly (Rect.make (ix + 4) (y0 + 4) (ix + 10) (y0 + 6)));
+    addc (ix + 5) (y0 + 4);
+    if m > 0 then begin
+      (* OR-plane poly row *)
+      add (box Layer.Poly (Rect.make ox (y0 + 4) (ox + (pitch * m)) (y0 + 6)));
+      (* OR-plane ground row, collected on the right *)
+      add (box Layer.Diffusion (Rect.make ox y0 (gx + 3) (y0 + 2)));
+      addc (gx + 1) y0
+    end
+  done;
+  (* AND-plane poly input columns (true, complement per input) and their
+     ground-return diffusion columns *)
+  for c = 0 to (2 * n) - 1 do
+    let x0 = head_w + (c * pitch) in
+    add (box Layer.Poly (Rect.make (x0 + 4) 0 (x0 + 6) yh));
+    add (box Layer.Diffusion (Rect.make (x0 + 8) (-8) (x0 + 10) yh));
+    addc (x0 + 8) (-8)
+  done;
+  (* OR-plane metal output columns *)
+  for o = 0 to m - 1 do
+    let x0 = ox + (o * pitch) in
+    add (box Layer.Metal (Rect.make (x0 + 5) 0 (x0 + 8) yh))
+  done;
+  (* programmed AND-plane sites *)
+  let and_devices = ref 0 in
+  Array.iteri
+    (fun r cube ->
+      let y0 = r * pitch in
+      Array.iteri
+        (fun i lit ->
+          let col =
+            match (lit : Cube.lit) with
+            | Cube.Zero -> Some (2 * i) (* device on the true column *)
+            | Cube.One -> Some ((2 * i) + 1) (* on the complement column *)
+            | Cube.Dash -> None
+          in
+          match col with
+          | None -> ()
+          | Some c ->
+            incr and_devices;
+            let x0 = head_w + (c * pitch) in
+            (* drain contacted to the row, source merging with the ground
+               column on the right *)
+            add (box Layer.Diffusion (Rect.make (x0 + 1) (y0 + 5) (x0 + 8) (y0 + 9)));
+            addc (x0 + 1) (y0 + 6))
+        cube.Cube.lits)
+    cubes;
+  (* programmed OR-plane sites *)
+  let or_devices = ref 0 in
+  Array.iteri
+    (fun r cube ->
+      let y0 = r * pitch in
+      for o = 0 to m - 1 do
+        if cube.Cube.outputs land (1 lsl o) <> 0 then begin
+          incr or_devices;
+          let x0 = ox + (o * pitch) in
+          (* vertical device: source joins the ground row below, drain
+             contacts the output column above the row poly *)
+          add (box Layer.Diffusion (Rect.make (x0 + 9) (y0 + 2) (x0 + 11) (y0 + 9)));
+          addc (x0 + 9) (y0 + 6)
+        end
+      done)
+    cubes;
+  (* OR-column pull-up heads; the diffusion reaches down to yh-3 so a
+     programmed top-row site merges with it (same electrical column) *)
+  for o = 0 to m - 1 do
+    let x0 = ox + (o * pitch) in
+    addc (x0 + 9) (yh + 1);
+    add (box Layer.Diffusion (Rect.make (x0 + 9) (yh - 3) (x0 + 11) (yh + 10)));
+    add (box Layer.Poly (Rect.make (x0 + 9) (yh + 3) (x0 + 11) (yh + 5)));
+    add (box Layer.Buried (Rect.make (x0 + 9) (yh + 3) (x0 + 11) (yh + 5)));
+    add (box Layer.Poly (Rect.make (x0 + 7) (yh + 5) (x0 + 13) (yh + 7)));
+    add (box Layer.Implant (Rect.make (x0 + 7) (yh + 3) (x0 + 13) (yh + 9)));
+    addc (x0 + 9) (yh + 8)
+  done;
+  let ports =
+    Cell.port "vdd" Layer.Metal (Rect.make 0 0 3 0)
+    :: Cell.port "gnd" Layer.Metal (Rect.make head_w (-9) head_w (-6))
+    :: List.concat
+         (List.init n (fun i ->
+              let xt = head_w + (2 * i * pitch) + 4 in
+              let xc = head_w + (((2 * i) + 1) * pitch) + 4 in
+              [ Cell.port (Printf.sprintf "in%d_t" i) Layer.Poly
+                  (Rect.make xt 0 (xt + 2) 0)
+              ; Cell.port (Printf.sprintf "in%d_c" i) Layer.Poly
+                  (Rect.make xc 0 (xc + 2) 0)
+              ]))
+    @ List.init m (fun o ->
+          let x0 = ox + (o * pitch) + 5 in
+          Cell.port (Printf.sprintf "out%d" o) Layer.Metal
+            (Rect.make x0 0 (x0 + 3) 0))
+  in
+  (Cell.make ~name ~ports (List.rev !elements), !and_devices, !or_devices)
+
+let build_netlist name (cover : Cover.t) =
+  let n = cover.Cover.ninputs in
+  let m = cover.Cover.noutputs in
+  let b = Builder.create name in
+  let ins = Builder.input b "in" n in
+  let invs = Array.map (fun i -> Builder.not_ b i) ins in
+  let products =
+    List.map
+      (fun (cube : Cube.t) ->
+        let lits = ref [] in
+        Array.iteri
+          (fun i lit ->
+            match (lit : Cube.lit) with
+            | Cube.One -> lits := ins.(i) :: !lits
+            | Cube.Zero -> lits := invs.(i) :: !lits
+            | Cube.Dash -> ())
+          cube.Cube.lits;
+        (Builder.and_reduce b !lits, cube.Cube.outputs))
+      cover.Cover.cubes
+  in
+  let outs =
+    Array.init m (fun o ->
+        let terms =
+          List.filter_map
+            (fun (net, mask) -> if mask land (1 lsl o) <> 0 then Some net else None)
+            products
+        in
+        Builder.or_reduce b terms)
+  in
+  Builder.output b "out" outs;
+  Builder.finish b
+
+let generate ?(minimize = true) ?(name = "pla") cover =
+  let cover = if minimize then Minimize.minimize cover else cover in
+  let layout, and_devices, or_devices = build_layout name cover in
+  let netlist = build_netlist name cover in
+  { cover
+  ; layout
+  ; netlist
+  ; rows = max (Cover.term_count cover) 1
+  ; and_devices
+  ; or_devices
+  }
+
+let layout t = t.layout
+
+let pp_summary ppf t =
+  Format.fprintf ppf
+    "PLA %s: %d inputs, %d outputs, %d terms; %d+%d devices; %dx%d lambda"
+    t.layout.Cell.name t.cover.Cover.ninputs t.cover.Cover.noutputs t.rows
+    t.and_devices t.or_devices (Cell.width t.layout) (Cell.height t.layout)

@@ -1,0 +1,54 @@
+(** The PLA generator: a regular block programmed for a specific function
+    (the paper's C2 claim, its "microscopic" silicon compilation).
+
+    Given a {!Sc_logic.Cover} the generator produces
+
+    - a transistor-level NMOS layout (NOR-NOR organization: an AND plane
+      of vertical dual-rail poly input columns crossing horizontal
+      product-term rows, and an OR plane where product rows continue in
+      poly and cross vertical metal output columns; depletion pull-ups on
+      every row and output column use buried contacts for the gate tie);
+    - a gate-level netlist view with identical logic, for simulation and
+      timing.
+
+    The artwork is electrically complete: every programmed device has a
+    drain contact to its row/column line and a source merged into the
+    ground network (per-column ground diffusion in the AND plane,
+    per-row ground diffusion in the OR plane, a bottom GND rail and a
+    right-hand collector column).  Only the input *driver* inverters
+    live outside the block: the layout exposes dual-rail poly ports
+    ["in<i>_t"] / ["in<i>_c"] at the bottom edge, and the netlist view
+    contains the inverters.  Output ports ["out<j>"] are the metal
+    columns at the bottom edge; ["vdd"] is the left rail and ["gnd"]
+    the bottom rail.  The raw NOR-plane output columns carry the
+    complemented function, as in any unbuffered NOR-NOR PLA; the
+    netlist view models the buffered (true) outputs.
+
+    Every generated layout passes the design-rule deck, its
+    row/column/device counts follow the personality matrix exactly, and
+    {!Sc_extract}-style extraction plus switch-level simulation of the
+    artwork reproduces the cover — all three enforced by tests. *)
+
+open Sc_logic
+
+type t =
+  { cover : Cover.t
+  ; layout : Sc_layout.Cell.t
+  ; netlist : Sc_netlist.Circuit.t
+  ; rows : int  (** product terms *)
+  ; and_devices : int  (** programmed sites in the AND plane *)
+  ; or_devices : int  (** programmed sites in the OR plane *)
+  }
+
+(** [generate ?minimize ?name cover] — when [minimize] is [true]
+    (default), the cover is first reduced with {!Sc_logic.Minimize}. *)
+val generate : ?minimize:bool -> ?name:string -> Cover.t -> t
+
+(** Area of the PLA layout in square lambda, without generating geometry
+    (closed-form from rows/inputs/outputs; exact for [generate]'s frame). *)
+val predicted_area : ninputs:int -> noutputs:int -> terms:int -> int
+
+(** The layout cell alone. *)
+val layout : t -> Sc_layout.Cell.t
+
+val pp_summary : Format.formatter -> t -> unit

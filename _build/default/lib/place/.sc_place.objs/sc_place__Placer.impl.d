@@ -1,0 +1,1 @@
+lib/place/placer.ml: Array Circuit Float Format Gate Hashtbl List Point Printf Random Sc_geom Sc_layout Sc_netlist Sc_route Sc_stdcell Transform

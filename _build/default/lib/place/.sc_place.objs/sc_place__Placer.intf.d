@@ -1,0 +1,1 @@
+lib/place/placer.mli: Circuit Format Gate Sc_layout Sc_netlist Sc_route

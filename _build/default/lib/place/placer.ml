@@ -1,0 +1,273 @@
+open Sc_netlist
+
+type problem =
+  { kinds : Gate.kind array
+  ; widths : int array
+  ; names : string array
+  ; nets : int array array
+  }
+
+type placement =
+  { problem : problem
+  ; x : int array
+  ; row : int array
+  ; nrows : int
+  ; row_width : int
+  }
+
+let problem_of_circuit c =
+  let f = Circuit.flatten c in
+  let gates = Array.of_list f.Circuit.gates in
+  let kinds = Array.map (fun g -> g.Circuit.kind) gates in
+  let widths =
+    Array.map (fun g -> (Sc_stdcell.Library.get g.Circuit.kind).Sc_stdcell.Library.width) gates
+  in
+  let names = Array.map (fun g -> g.Circuit.gname) gates in
+  let by_net = Hashtbl.create 64 in
+  let touch net item =
+    let cur = try Hashtbl.find by_net net with Not_found -> [] in
+    if not (List.mem item cur) then Hashtbl.replace by_net net (item :: cur)
+  in
+  Array.iteri
+    (fun idx g ->
+      touch g.Circuit.out idx;
+      Array.iter (fun n -> touch n idx) g.Circuit.ins)
+    gates;
+  let nets =
+    Hashtbl.fold
+      (fun _ items acc ->
+        match items with
+        | [] | [ _ ] -> acc
+        | _ -> Array.of_list items :: acc)
+      by_net []
+  in
+  { kinds; widths; names; nets = Array.of_list nets }
+
+let default_rows p =
+  let n = Array.length p.kinds in
+  max 1 (int_of_float (sqrt (float_of_int (max n 1))))
+
+(* Fold an item order into serpentine rows and assign x positions. *)
+let fold_rows p order nrows =
+  let n = Array.length order in
+  let per_row = max 1 ((n + nrows - 1) / nrows) in
+  let x = Array.make n 0 in
+  let row = Array.make n 0 in
+  let row_width = ref 0 in
+  let idx = ref 0 in
+  for r = 0 to nrows - 1 do
+    let count = min per_row (n - !idx) in
+    let items = Array.sub order !idx (max count 0) in
+    (* serpentine: reverse odd rows so chains stay short at the turn *)
+    let items = if r land 1 = 1 then (Array.of_list (List.rev (Array.to_list items))) else items in
+    let cursor = ref 0 in
+    Array.iter
+      (fun item ->
+        x.(item) <- !cursor;
+        row.(item) <- r;
+        cursor := !cursor + p.widths.(item))
+      items;
+    row_width := max !row_width !cursor;
+    idx := !idx + count
+  done;
+  { problem = p; x; row; nrows; row_width = !row_width }
+
+let random ?(seed = 42) ?nrows p =
+  let n = Array.length p.kinds in
+  let nrows = match nrows with Some r -> r | None -> default_rows p in
+  let rng = Random.State.make [| seed |] in
+  let order = Array.init n (fun i -> i) in
+  for i = n - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let t = order.(i) in
+    order.(i) <- order.(j);
+    order.(j) <- t
+  done;
+  fold_rows p order nrows
+
+let ordered ?nrows p =
+  let n = Array.length p.kinds in
+  let nrows = match nrows with Some r -> r | None -> default_rows p in
+  (* barycentre iterations on a 1-D abstract coordinate *)
+  let pos = Array.init n float_of_int in
+  let neighbours = Array.make n [] in
+  Array.iter
+    (fun net ->
+      Array.iter
+        (fun a ->
+          Array.iter (fun b -> if a <> b then neighbours.(a) <- b :: neighbours.(a)) net)
+        net)
+    p.nets;
+  for _pass = 1 to 12 do
+    let next = Array.copy pos in
+    for i = 0 to n - 1 do
+      match neighbours.(i) with
+      | [] -> ()
+      | ns ->
+        let sum = List.fold_left (fun acc j -> acc +. pos.(j)) 0.0 ns in
+        next.(i) <- (pos.(i) +. (sum /. float_of_int (List.length ns))) /. 2.0
+    done;
+    Array.blit next 0 pos 0 n;
+    (* re-rank to keep positions spread *)
+    let ranked = Array.init n (fun i -> i) in
+    Array.sort (fun a b -> Float.compare pos.(a) pos.(b)) ranked;
+    Array.iteri (fun rank item -> pos.(item) <- float_of_int rank) ranked
+  done;
+  let order = Array.init n (fun i -> i) in
+  Array.sort (fun a b -> Float.compare pos.(a) pos.(b)) order;
+  fold_rows p order nrows
+
+let item_center pl i =
+  let cx = pl.x.(i) + (pl.problem.widths.(i) / 2) in
+  (* row pitch normalized to the library cell height plus a nominal channel *)
+  let cy = pl.row.(i) * (Sc_stdcell.Nmos.cell_height + 30) in
+  (cx, cy)
+
+let hpwl pl =
+  Array.fold_left
+    (fun acc net ->
+      let xs = Array.map (fun i -> fst (item_center pl i)) net in
+      let ys = Array.map (fun i -> snd (item_center pl i)) net in
+      let min_a = Array.fold_left min max_int and max_a = Array.fold_left max min_int in
+      acc + (max_a xs - min_a xs) + (max_a ys - min_a ys))
+    0 pl.problem.nets
+
+let improve ?(iters = 2000) pl =
+  let n = Array.length pl.problem.kinds in
+  if n < 2 then pl
+  else begin
+    let x = Array.copy pl.x and row = Array.copy pl.row in
+    let current = ref { pl with x; row } in
+    let cost = ref (hpwl !current) in
+    let rng = Random.State.make [| 7 |] in
+    for _ = 1 to iters do
+      let i = Random.State.int rng n and j = Random.State.int rng n in
+      if i <> j && pl.problem.widths.(i) = pl.problem.widths.(j) then begin
+        (* swap equal-width items: positions exchange exactly *)
+        let xi = x.(i) and ri = row.(i) in
+        x.(i) <- x.(j);
+        row.(i) <- row.(j);
+        x.(j) <- xi;
+        row.(j) <- ri;
+        let c = hpwl !current in
+        if c <= !cost then cost := c
+        else begin
+          let xi = x.(i) and ri = row.(i) in
+          x.(i) <- x.(j);
+          row.(i) <- row.(j);
+          x.(j) <- xi;
+          row.(j) <- ri
+        end
+      end
+    done;
+    !current
+  end
+
+let to_layout ?(channel = 30) ~name pl =
+  let open Sc_geom in
+  let n = Array.length pl.problem.kinds in
+  let pitch = Sc_stdcell.Nmos.cell_height + channel in
+  let insts = ref [] in
+  for i = n - 1 downto 0 do
+    let cell = Sc_stdcell.Library.layout_of pl.problem.kinds.(i) in
+    let y = pl.row.(i) * pitch in
+    (* flip odd rows so facing rails match (VDD against VDD) *)
+    let trans =
+      if pl.row.(i) land 1 = 1 then
+        Transform.make ~orient:Transform.MX
+          (Point.make pl.x.(i) (y + Sc_stdcell.Nmos.cell_height))
+      else Transform.translation pl.x.(i) y
+    in
+    insts :=
+      Sc_layout.Cell.instantiate ~name:(Printf.sprintf "g%d" i) ~trans cell
+      :: !insts
+  done;
+  let ports =
+    List.concat_map
+      (fun (i : Sc_layout.Cell.inst) ->
+        List.map
+          (fun (p : Sc_layout.Cell.port) ->
+            let q = Sc_layout.Cell.port_in_parent i p in
+            { q with Sc_layout.Cell.pname = i.inst_name ^ "." ^ p.pname })
+          i.cell.Sc_layout.Cell.ports)
+      !insts
+  in
+  Sc_layout.Cell.make ~name ~ports ~instances:!insts []
+
+type routed_channels =
+  { channels : Sc_route.Channel.routed list
+  ; total_height : int
+  ; total_trunk : int
+  }
+
+(* Pin assignment: one pin per net per channel side, snapped onto a
+   14-lambda grid.  Bottom pins sit on even half-grid slots and top pins
+   on odd ones, so no column ever carries pins of two different nets and
+   the vertical constraint graph stays empty. *)
+let route_channels pl =
+  let grid = 14 in
+  let n = Array.length pl.problem.kinds in
+  let centre i = pl.x.(i) + (pl.problem.widths.(i) / 2) in
+  let channels = ref [] in
+  for boundary = 0 to pl.nrows - 2 do
+    (* nets with gates on both sides of the boundary *)
+    let crossing =
+      Array.to_list pl.problem.nets
+      |> List.filter_map (fun net ->
+             let below = Array.exists (fun i -> pl.row.(i) <= boundary) net in
+             let above = Array.exists (fun i -> pl.row.(i) > boundary) net in
+             if below && above then Some net else None)
+    in
+    if crossing <> [] then begin
+      let slot_of used x =
+        (* snap to the grid, then probe for a free slot *)
+        let s = ref (max 0 (x / grid)) in
+        while Hashtbl.mem used !s do
+          incr s
+        done;
+        Hashtbl.replace used !s ();
+        !s
+      in
+      let used_bottom = Hashtbl.create 16 and used_top = Hashtbl.create 16 in
+      let pins =
+        List.mapi
+          (fun netid net ->
+            let side_centre keep =
+              let xs =
+                Array.to_list net
+                |> List.filter keep
+                |> List.map centre
+              in
+              List.fold_left ( + ) 0 xs / max 1 (List.length xs)
+            in
+            let bx = side_centre (fun i -> pl.row.(i) <= boundary) in
+            let tx = side_centre (fun i -> pl.row.(i) > boundary) in
+            let bslot = slot_of used_bottom bx in
+            let tslot = slot_of used_top tx in
+            ( { Sc_route.Channel.x = bslot * grid; net = netid }
+            , { Sc_route.Channel.x = (tslot * grid) + (grid / 2); net = netid } ))
+          crossing
+      in
+      let bottom = List.map fst pins and top = List.map snd pins in
+      let width =
+        List.fold_left
+          (fun m (p : Sc_route.Channel.pin) -> max m (p.x + 2))
+          0 (bottom @ top)
+      in
+      channels := Sc_route.Channel.route { top; bottom; width } :: !channels
+    end
+  done;
+  ignore n;
+  let channels = List.rev !channels in
+  { channels
+  ; total_height =
+      List.fold_left (fun a (c : Sc_route.Channel.routed) -> a + c.height) 0 channels
+  ; total_trunk =
+      List.fold_left
+        (fun a (c : Sc_route.Channel.routed) -> a + c.trunk_length)
+        0 channels
+  }
+
+let pp ppf pl =
+  Format.fprintf ppf "placement: %d items in %d rows, width %d, hpwl %d"
+    (Array.length pl.problem.kinds) pl.nrows pl.row_width (hpwl pl)

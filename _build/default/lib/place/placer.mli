@@ -1,0 +1,69 @@
+(** Row-based standard-cell placement.
+
+    Experiment E4 contrasts structured placement with unstructured: the
+    placer offers a random baseline, a constructive barycentre/serpentine
+    placement, and a swap-based improvement pass, all measured by
+    half-perimeter wire length (HPWL).
+
+    Items are the gates of a flattened circuit; their widths come from
+    the standard-cell library and all share the library cell height.
+    [to_layout] materializes a placement into real geometry: rows of
+    cells separated by routing channels. *)
+
+open Sc_netlist
+
+type problem = private
+  { kinds : Gate.kind array  (** per item *)
+  ; widths : int array
+  ; names : string array
+  ; nets : int array array  (** net -> connected item indices *)
+  }
+
+(** [problem_of_circuit c] flattens [c]; items are gates, nets are the
+    circuit's nets restricted to gate endpoints (single-item nets are
+    dropped — they contribute nothing to HPWL). *)
+val problem_of_circuit : Circuit.t -> problem
+
+type placement =
+  { problem : problem
+  ; x : int array  (** lower-left cell x per item *)
+  ; row : int array
+  ; nrows : int
+  ; row_width : int  (** widest row *)
+  }
+
+(** [random ?seed ?nrows p] — shuffle items into serpentine rows. *)
+val random : ?seed:int -> ?nrows:int -> problem -> placement
+
+(** Constructive placement: barycentre-ordered items folded into rows. *)
+val ordered : ?nrows:int -> problem -> placement
+
+(** [improve ?iters placement] — greedy pairwise-swap descent on HPWL. *)
+val improve : ?iters:int -> placement -> placement
+
+(** Half-perimeter wire length over all nets, cell centres as pins. *)
+val hpwl : placement -> int
+
+(** [to_layout ?channel ~name placement] — rows of library cells with
+    [channel] lambda of routing space between rows (default 30).
+    Alternate rows are flipped in y so that power rails of facing rows
+    line up.  Cell ports are exposed as "g<item>.<port>". *)
+val to_layout : ?channel:int -> name:string -> placement -> Sc_layout.Cell.t
+
+(** Routed wiring-management cost of a placement: for every adjacent
+    row pair, the nets crossing that boundary become a channel-routing
+    problem (one pin per side per net, snapped to a 14-lambda grid with
+    top and bottom pins on alternating half-grids so vertical constraints
+    never conflict) and the real channel router assigns tracks.
+
+    The result is the aggregate channel height and trunk wirelength —
+    the E4 metric: structured placement needs fewer tracks. *)
+type routed_channels =
+  { channels : Sc_route.Channel.routed list
+  ; total_height : int  (** sum of channel heights, lambda *)
+  ; total_trunk : int  (** sum of horizontal trunk wire, lambda *)
+  }
+
+val route_channels : placement -> routed_channels
+
+val pp : Format.formatter -> placement -> unit

@@ -1,0 +1,1 @@
+lib/rom/rom.ml: Array Cover Cube Format List Sc_logic Sc_pla

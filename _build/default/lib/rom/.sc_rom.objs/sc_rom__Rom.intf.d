@@ -1,0 +1,1 @@
+lib/rom/rom.mli: Format Sc_layout Sc_netlist Sc_pla

@@ -1,0 +1,1 @@
+lib/route/channel.ml: Array Cell Hashtbl Int Layer List Printf Rect Sc_geom Sc_layout Sc_tech

@@ -1,0 +1,1 @@
+lib/rtl/check.ml: Ast Format Hashtbl List Set String

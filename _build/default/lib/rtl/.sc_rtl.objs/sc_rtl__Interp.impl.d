@@ -1,0 +1,1 @@
+lib/rtl/interp.ml: Array Ast Check Hashtbl List

@@ -1,0 +1,1 @@
+lib/rtl/interp.mli: Ast

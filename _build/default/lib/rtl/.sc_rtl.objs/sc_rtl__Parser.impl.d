@@ -1,0 +1,1 @@
+lib/rtl/parser.ml: Ast Format Fun List String

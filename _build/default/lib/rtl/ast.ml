@@ -1,0 +1,88 @@
+type unop = Not
+
+type binop = Add | Sub | And | Or | Xor | Eq | Ne | Lt | Gt | Shl | Shr
+
+type expr =
+  | Const of int
+  | Ref of string
+  | Bit of string * int
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+
+type stmt =
+  | Assign of string * expr
+  | If of expr * stmt list * stmt list
+  | Decode of expr * (int * stmt list) list * stmt list
+
+type decl = { dname : string; width : int }
+
+type design =
+  { name : string
+  ; inputs : decl list
+  ; outputs : decl list
+  ; regs : decl list
+  ; wires : decl list
+  ; body : stmt list
+  }
+
+let binop_symbol = function
+  | Add -> "+"
+  | Sub -> "-"
+  | And -> "&"
+  | Or -> "|"
+  | Xor -> "^"
+  | Eq -> "=="
+  | Ne -> "!="
+  | Lt -> "<"
+  | Gt -> ">"
+  | Shl -> "<<"
+  | Shr -> ">>"
+
+let rec pp_expr ppf = function
+  | Const v -> Format.fprintf ppf "%d" v
+  | Ref n -> Format.pp_print_string ppf n
+  | Bit (n, i) -> Format.fprintf ppf "%s[%d]" n i
+  | Unop (Not, e) -> Format.fprintf ppf "~%a" pp_atom e
+  | Binop (op, a, b) ->
+    Format.fprintf ppf "(%a %s %a)" pp_expr a (binop_symbol op) pp_expr b
+
+and pp_atom ppf e =
+  match e with
+  | Const _ | Ref _ | Bit _ -> pp_expr ppf e
+  | _ -> Format.fprintf ppf "(%a)" pp_expr e
+
+let rec pp_stmt ppf = function
+  | Assign (n, e) -> Format.fprintf ppf "%s := %a;" n pp_expr e
+  | If (c, t, []) ->
+    Format.fprintf ppf "@[<v 2>if %a then@ %a@]@ end" pp_expr c pp_stmts t
+  | If (c, t, e) ->
+    Format.fprintf ppf "@[<v 2>if %a then@ %a@]@ @[<v 2>else@ %a@]@ end"
+      pp_expr c pp_stmts t pp_stmts e
+  | Decode (e, cases, dflt) ->
+    Format.fprintf ppf "@[<v 2>decode %a@ " pp_expr e;
+    List.iter
+      (fun (v, ss) -> Format.fprintf ppf "@[<v 2>%d:@ %a@]@ " v pp_stmts ss)
+      cases;
+    if dflt <> [] then Format.fprintf ppf "@[<v 2>default:@ %a@]@ " pp_stmts dflt;
+    Format.fprintf ppf "@]end"
+
+and pp_stmts ppf ss =
+  Format.pp_print_list ~pp_sep:Format.pp_print_space pp_stmt ppf ss
+
+let pp_decls ppf what decls =
+  if decls <> [] then begin
+    Format.fprintf ppf "%s " what;
+    Format.pp_print_list
+      ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+      (fun ppf d -> Format.fprintf ppf "%s[%d]" d.dname d.width)
+      ppf decls;
+    Format.fprintf ppf ";@ "
+  end
+
+let pp ppf d =
+  Format.fprintf ppf "@[<v>module %s;@ " d.name;
+  pp_decls ppf "inputs" d.inputs;
+  pp_decls ppf "outputs" d.outputs;
+  pp_decls ppf "registers" d.regs;
+  pp_decls ppf "wires" d.wires;
+  Format.fprintf ppf "@[<v 2>behavior@ %a@]@ end@]" pp_stmts d.body

@@ -1,0 +1,127 @@
+let max_width = 30
+
+let all_decls (d : Ast.design) = d.inputs @ d.outputs @ d.regs @ d.wires
+
+let find_decl d name =
+  List.find_opt (fun (dd : Ast.decl) -> dd.dname = name) (all_decls d)
+
+let rec min_const_width v = if v <= 1 then 1 else 1 + min_const_width (v / 2)
+
+let rec expr_width d = function
+  | Ast.Const v -> min_const_width v
+  | Ast.Ref n -> (
+    match find_decl d n with
+    | Some dd -> dd.width
+    | None -> raise Not_found)
+  | Ast.Bit _ -> 1
+  | Ast.Unop (Ast.Not, e) -> expr_width d e
+  | Ast.Binop ((Ast.Eq | Ast.Ne | Ast.Lt | Ast.Gt), _, _) -> 1
+  | Ast.Binop (Ast.Shl, a, _) -> expr_width d a
+  | Ast.Binop (Ast.Shr, a, b) -> (
+    (* a constant shift narrows the result *)
+    match b with
+    | Ast.Const k -> max 1 (expr_width d a - k)
+    | _ -> expr_width d a)
+  | Ast.Binop (Ast.And, a, Ast.Const c) | Ast.Binop (Ast.And, Ast.Const c, a)
+    ->
+    (* masking with a constant narrows the result *)
+    min (expr_width d a) (min_const_width c)
+  | Ast.Binop (_, a, b) -> max (expr_width d a) (expr_width d b)
+
+let check (d : Ast.design) =
+  let errs = ref [] in
+  let err fmt = Format.kasprintf (fun s -> errs := s :: !errs) fmt in
+  (* declarations *)
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (dd : Ast.decl) ->
+      if Hashtbl.mem seen dd.dname then err "duplicate declaration %s" dd.dname;
+      Hashtbl.replace seen dd.dname ();
+      if dd.width < 1 || dd.width > max_width then
+        err "%s: width %d out of range 1..%d" dd.dname dd.width max_width)
+    (all_decls d);
+  let is_input n = List.exists (fun (dd : Ast.decl) -> dd.dname = n) d.inputs in
+  let is_output n = List.exists (fun (dd : Ast.decl) -> dd.dname = n) d.outputs in
+  let is_wire n = List.exists (fun (dd : Ast.decl) -> dd.dname = n) d.wires in
+  let module S = Set.Make (String) in
+  (* [defined] tracks names definitely assigned so far in the cycle; a
+     wire may only be read once it is in [defined] *)
+  let rec check_expr defined = function
+    | Ast.Const v -> if v < 0 then err "negative constant %d" v
+    | Ast.Ref n ->
+      if find_decl d n = None then err "undeclared name %s" n
+      else if is_output n then
+        err "output %s is write-only (copy through a register)" n
+      else if is_wire n && not (S.mem n defined) then
+        err "wire %s read before assignment" n
+    | Ast.Bit (n, i) -> (
+      match find_decl d n with
+      | None -> err "undeclared name %s" n
+      | Some dd ->
+        if is_output n then
+          err "output %s is write-only (copy through a register)" n;
+        if is_wire n && not (S.mem n defined) then
+          err "wire %s read before assignment" n;
+        if i < 0 || i >= dd.width then
+          err "bit select %s[%d] out of range (width %d)" n i dd.width)
+    | Ast.Unop (_, e) -> check_expr defined e
+    | Ast.Binop ((Ast.Shl | Ast.Shr), a, b) ->
+      check_expr defined a;
+      (match b with
+      | Ast.Const _ -> ()
+      | _ -> err "shift amount must be a constant")
+    | Ast.Binop (_, a, b) ->
+      check_expr defined a;
+      check_expr defined b
+  in
+  (* statements; threads the definitely-assigned set in execution order *)
+  let rec definite defined stmts = List.fold_left definite_stmt defined stmts
+  and definite_stmt defined = function
+    | Ast.Assign (n, e) ->
+      check_expr defined e;
+      (match find_decl d n with
+      | None ->
+        err "assignment to undeclared name %s" n;
+        defined
+      | Some _ when is_input n ->
+        err "assignment to input %s" n;
+        defined
+      | Some _ -> S.add n defined)
+    | Ast.If (c, t, e) ->
+      check_expr defined c;
+      S.inter (definite defined t) (definite defined e)
+    | Ast.Decode (scrutinee, cases, dflt) ->
+      check_expr defined scrutinee;
+      let w = try expr_width d scrutinee with Not_found -> max_width in
+      List.iter
+        (fun (v, _) ->
+          if w < max_width && v >= 1 lsl w then
+            err "decode case %d unreachable (scrutinee width %d)" v w)
+        cases;
+      let case_sets = List.map (fun (_, ss) -> definite defined ss) cases in
+      let inter_all = function
+        | first :: rest -> List.fold_left S.inter first rest
+        | [] -> defined
+      in
+      (* without a default covering the whole range, nothing is definite
+         unless the cases are exhaustive *)
+      let exhaustive_cases =
+        w < max_width
+        && List.for_all
+             (fun v -> List.mem_assoc v cases)
+             (List.init (1 lsl w) (fun i -> i))
+      in
+      if dflt <> [] then inter_all (definite defined dflt :: case_sets)
+      else if exhaustive_cases then inter_all case_sets
+      else begin
+        (* still typecheck an absent default's cases' bodies *)
+        defined
+      end
+  in
+  let assigned = definite S.empty d.body in
+  List.iter
+    (fun (dd : Ast.decl) ->
+      if not (S.mem dd.dname assigned) then
+        err "output %s is not assigned on every path" dd.dname)
+    d.outputs;
+  List.rev !errs

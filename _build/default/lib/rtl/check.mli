@@ -1,0 +1,22 @@
+(** Static checks on behavioral designs.
+
+    Verifies: unique declarations; every referenced name is declared;
+    assignment targets are outputs or registers (never inputs); outputs
+    are write-only in expressions (read a register instead, which keeps
+    outputs purely combinational); bit selects are in range; shift
+    amounts are constant; widths are in 1..30 (the interpreter and
+    synthesizer use OCaml ints); and every output is assigned on every
+    execution path, so the synthesized logic is fully combinationally
+    defined. *)
+
+val check : Ast.design -> string list
+(** Empty list = well-formed. *)
+
+(** Width of an expression under the design's declarations: arithmetic
+    and bitwise operators take the wider operand's width, comparisons
+    have width 1, a bit-select has width 1, constants take the width of
+    their context (here: their minimal width).
+    @raise Not_found for undeclared names. *)
+val expr_width : Ast.design -> Ast.expr -> int
+
+val find_decl : Ast.design -> string -> Ast.decl option

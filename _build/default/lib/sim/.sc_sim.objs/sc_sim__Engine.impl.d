@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Array Buffer Circuit Gate Hashtbl List Queue Sc_netlist String Value

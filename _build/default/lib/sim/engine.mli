@@ -1,0 +1,50 @@
+(** Event-driven gate-level simulation.
+
+    The engine flattens the circuit once, builds fanout tables and then
+    propagates value changes through delta cycles until quiescence
+    ({!settle}).  {!step} is one synchronous clock edge: all flip-flops
+    sample their inputs simultaneously, then the combinational logic
+    settles.  This is the "verification by simulation" role the paper
+    assigns to behavioral/structural descriptions. *)
+
+open Sc_netlist
+
+type t
+
+(** @raise Invalid_argument when the circuit fails {!Circuit.check} or has
+    a combinational cycle. *)
+val create : Circuit.t -> t
+
+val circuit : t -> Circuit.t
+(** The flattened circuit being simulated. *)
+
+(** [set_input t name values] drives an input port (index 0 = lsb);
+    combinational logic settles immediately.
+    @raise Not_found on unknown port. *)
+val set_input : t -> string -> Value.t array -> unit
+
+(** [set_input_int t name v] drives the port with the binary encoding
+    of [v]. *)
+val set_input_int : t -> string -> int -> unit
+
+(** One clock edge: flip-flops load, then logic settles. *)
+val step : t -> unit
+
+(** [run t n] — [n] clock edges. *)
+val run : t -> int -> unit
+
+val get_output : t -> string -> Value.t array
+
+(** [None] when any bit is X. *)
+val get_output_int : t -> string -> int option
+
+val net_value : t -> Circuit.net -> Value.t
+
+(** [net_by_name t name] looks a net up by its hierarchical debug name. *)
+val net_by_name : t -> string -> Circuit.net option
+
+(** Number of gate evaluations performed so far (simulation effort). *)
+val events : t -> int
+
+(** [vcd_line t] — all port values, as a compact "name=bits" string. *)
+val port_snapshot : t -> string

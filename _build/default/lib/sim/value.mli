@@ -1,0 +1,34 @@
+(** Three-valued logic for simulation: 0, 1 and unknown.
+
+    The X value gives honest answers about uninitialized state: a
+    flip-flop that was never loaded reads X, and X is contagious except
+    through controlling inputs (0 AND X = 0, 1 OR X = 1). *)
+
+type t = V0 | V1 | VX
+
+val of_bool : bool -> t
+
+val to_bool : t -> bool option
+
+val is_known : t -> bool
+
+val inv : t -> t
+
+val and_ : t -> t -> t
+
+val or_ : t -> t -> t
+
+val xor : t -> t -> t
+
+(** [mux a0 a1 sel]: X select resolves only when both ways agree. *)
+val mux : t -> t -> t -> t
+
+(** [eval_gate kind ins] — the 3-valued semantics of a combinational gate.
+    @raise Invalid_argument on sequential kinds. *)
+val eval_gate : Sc_netlist.Gate.kind -> t array -> t
+
+val equal : t -> t -> bool
+
+val to_char : t -> char
+
+val pp : Format.formatter -> t -> unit

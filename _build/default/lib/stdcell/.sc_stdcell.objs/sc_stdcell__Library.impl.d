@@ -1,0 +1,1 @@
+lib/stdcell/library.ml: Cell Circuit Format Gate Hashtbl List Nmos Sc_geom Sc_layout Sc_netlist Sc_tech

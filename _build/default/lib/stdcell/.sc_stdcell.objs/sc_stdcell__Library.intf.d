@@ -1,0 +1,1 @@
+lib/stdcell/library.mli: Cell Circuit Format Gate Sc_layout Sc_netlist

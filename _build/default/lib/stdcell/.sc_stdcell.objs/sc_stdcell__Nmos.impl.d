@@ -1,0 +1,1 @@
+lib/stdcell/nmos.ml: Array Cell Compose Layer List Printf Rect Sc_geom Sc_layout Sc_tech Transform

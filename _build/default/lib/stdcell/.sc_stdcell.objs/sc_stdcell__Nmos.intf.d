@@ -1,0 +1,1 @@
+lib/stdcell/nmos.mli: Cell Sc_layout

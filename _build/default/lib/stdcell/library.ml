@@ -1,0 +1,83 @@
+open Sc_layout
+open Sc_netlist
+
+type cell =
+  { kind : Gate.kind
+  ; layout : Cell.t
+  ; area : int
+  ; width : int
+  ; height : int
+  ; transistors : int
+  ; delay : int
+  }
+
+(* Composite cells are rows of primitives; the layouts match the classic
+   NAND-only constructions so the area is honest even though intra-cell
+   wiring is abstracted. *)
+let rec build_layout kind =
+  match (kind : Gate.kind) with
+  | Gate.Inv -> Nmos.inv ()
+  | Gate.Nand2 -> Nmos.nand 2
+  | Gate.Nand3 -> Nmos.nand 3
+  | Gate.Nor2 -> Nmos.nor2 ()
+  | Gate.Buf -> Nmos.row "buf" [ Nmos.inv (); Nmos.inv () ]
+  | Gate.And2 -> Nmos.row "and2" [ Nmos.nand 2; Nmos.inv () ]
+  | Gate.Or2 -> Nmos.row "or2" [ Nmos.nor2 (); Nmos.inv () ]
+  | Gate.Nor3 ->
+    (* nor3(a,b,c) = nor2(or2(a,b), c) *)
+    Nmos.row "nor3" [ Nmos.nor2 (); Nmos.inv (); Nmos.nor2 () ]
+  | Gate.Xor2 ->
+    Nmos.row "xor2"
+      [ Nmos.nand 2; Nmos.nand 2; Nmos.nand 2; Nmos.nand 2 ]
+  | Gate.Xnor2 -> Nmos.row "xnor2" [ build_layout Gate.Xor2; Nmos.inv () ]
+  | Gate.Mux2 ->
+    Nmos.row "mux2" [ Nmos.inv (); Nmos.nand 2; Nmos.nand 2; Nmos.nand 2 ]
+  | Gate.Dff ->
+    Nmos.row "dff"
+      [ Nmos.nand 2; Nmos.nand 2; Nmos.nand 2; Nmos.nand 2; Nmos.nand 3
+      ; Nmos.nand 2
+      ]
+  | Gate.Dffe -> Nmos.row "dffe" [ build_layout Gate.Dff; build_layout Gate.Mux2 ]
+  | Gate.Const0 | Gate.Const1 ->
+    (* a tie-off: a strip of rail-height with no devices *)
+    Cell.make
+      ~name:(Gate.to_string kind)
+      ~ports:
+        [ Cell.port "y" Sc_tech.Layer.Metal (Sc_geom.Rect.make 4 0 4 3) ]
+      [ Cell.box Sc_tech.Layer.Metal (Sc_geom.Rect.make 0 0 4 3)
+      ; Cell.box Sc_tech.Layer.Metal (Sc_geom.Rect.make 0 37 4 40)
+      ]
+
+let cache : (Gate.kind, cell) Hashtbl.t = Hashtbl.create 16
+
+let get kind =
+  match Hashtbl.find_opt cache kind with
+  | Some c -> c
+  | None ->
+    let layout = build_layout kind in
+    let c =
+      { kind
+      ; layout
+      ; area = Cell.area layout
+      ; width = Cell.width layout
+      ; height = Cell.height layout
+      ; transistors = Gate.transistors kind
+      ; delay = Gate.delay kind
+      }
+    in
+    Hashtbl.add cache kind c;
+    c
+
+let layout_of kind = (get kind).layout
+
+let all () = List.map get Gate.all
+
+let circuit_cell_area c =
+  let s = Circuit.stats c in
+  List.fold_left
+    (fun acc (kind, n) -> acc + (n * (get kind).area))
+    0 s.Circuit.by_kind
+
+let pp_cell ppf c =
+  Format.fprintf ppf "%a: %dx%d lambda, %d transistors, delay %d" Gate.pp
+    c.kind c.width c.height c.transistors c.delay

@@ -1,0 +1,38 @@
+(** The standard module library: one characterized cell per gate kind.
+
+    Primitive NMOS cells (inverter, NAND2/3, NOR2) are transistor-level
+    layouts from {!Nmos}; the remaining kinds are compositions of
+    primitives placed in a row (e.g. AND2 = NAND2 + INV, XOR2 = four
+    NAND2s, DFF = six NAND2s), which gives them realistic area while
+    abstracting intra-cell wiring — the same granularity as the
+    standard-module sets of the paper's reference [6].  Composite cells
+    re-export their sub-cell ports under "i<k>.<p>" names.
+
+    Areas are in square lambda; delays and transistor counts come from
+    {!Sc_netlist.Gate}. *)
+
+open Sc_layout
+open Sc_netlist
+
+type cell =
+  { kind : Gate.kind
+  ; layout : Cell.t
+  ; area : int  (** bounding-box area, square lambda *)
+  ; width : int
+  ; height : int
+  ; transistors : int
+  ; delay : int
+  }
+
+(** Memoized; all cells share one layout definition per kind. *)
+val get : Gate.kind -> cell
+
+val layout_of : Gate.kind -> Cell.t
+
+val all : unit -> cell list
+
+(** Total layout area of a circuit's gates if placed with no packing
+    overhead (lower bound used by E1/E2 area accounting). *)
+val circuit_cell_area : Circuit.t -> int
+
+val pp_cell : Format.formatter -> cell -> unit

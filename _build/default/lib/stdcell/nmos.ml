@@ -1,0 +1,169 @@
+open Sc_geom
+open Sc_tech
+open Sc_layout
+
+let cell_height = 40
+
+(* Shared frame pieces.  All coordinates in lambda; the geometry was laid
+   out against the Rules deck: 2-lambda poly/diff, 3-lambda metal,
+   2x2 contacts with 1-lambda metal surround, 2-lambda implant margin. *)
+
+let rails w =
+  [ Cell.box Layer.Metal (Rect.make 0 0 w 3)
+  ; Cell.box Layer.Metal (Rect.make 0 37 w 40)
+  ]
+
+let rail_ports w =
+  ignore w;
+  [ Cell.port "gnd" Layer.Metal (Rect.make 0 0 0 3)
+  ; Cell.port "vdd" Layer.Metal (Rect.make 0 37 0 40)
+  ]
+
+(* metal-covered contact: cut at (x,y)..(x+2,y+2), metal surround 1 *)
+let contact x y =
+  [ Cell.box Layer.Contact (Rect.make x y (x + 2) (y + 2))
+  ; Cell.box Layer.Metal (Rect.make (x - 1) (y - 1) (x + 3) (y + 3))
+  ]
+
+let input_names = [| "a"; "b"; "c" |]
+
+(* Series-pulldown cell (inverter = 1 gate, NAND2/3 = 2/3 gates): one
+   vertical diffusion column, input gates stacked 5 lambda apart, output
+   node contacted above the top gate, depletion pull-up at the top with
+   gate strapped to the output. *)
+let series_cell name n =
+  assert (n >= 1 && n <= 3);
+  let w = 14 in
+  let yo = 11 + (5 * (n - 1)) in
+  (* output contact bottom *)
+  let elements =
+    rails w
+    @ [ (* diffusion column through pulldowns, output node and pull-up *)
+        Cell.box Layer.Diffusion (Rect.make 5 1 7 39)
+      ]
+    (* GND contact *)
+    @ contact 5 1
+    (* input gates *)
+    @ List.concat
+        (List.init n (fun i ->
+             let y = 6 + (5 * i) in
+             [ Cell.box Layer.Poly (Rect.make 1 y 9 (y + 2)) ]))
+    (* output node contact, strip to the right edge, strap up to pull-up *)
+    @ contact 5 yo
+    @ [ Cell.box Layer.Metal (Rect.make 4 (yo - 1) w (yo + 3))
+      ; Cell.box Layer.Metal (Rect.make 10 (yo - 1) w 29)
+      ]
+    (* depletion pull-up: gate at y 26..28, implant, gate-output contact *)
+    @ [ Cell.box Layer.Poly (Rect.make 3 26 11 28)
+      ; Cell.box Layer.Implant (Rect.make 3 24 9 30)
+      ]
+    @ contact 9 26
+    (* VDD contact *)
+    @ contact 5 37
+  in
+  let ports =
+    rail_ports w
+    @ List.init n (fun i ->
+          let y = 6 + (5 * i) in
+          Cell.port input_names.(i) Layer.Poly (Rect.make 1 y 1 (y + 2)))
+    @ [ Cell.port "y" Layer.Metal (Rect.make w yo w (yo + 2)) ]
+  in
+  Cell.make ~name ~ports elements
+
+let inv () = series_cell "inv" 1
+
+let nand n =
+  if n < 2 || n > 3 then invalid_arg "Nmos.nand: n must be 2 or 3";
+  series_cell (Printf.sprintf "nand%d" n) n
+
+(* Two-input NOR: two pulldown columns, each GND-contacted at the bottom
+   and joined at the output; the second column carries the depletion
+   pull-up above its output contact. *)
+let nor2 () =
+  let w = 20 in
+  let elements =
+    rails w
+    @ [ (* column A: GND @1, gate a @6..8, output contact @11 *)
+        Cell.box Layer.Diffusion (Rect.make 5 1 7 14)
+      ; (* column B: GND @1, gate b @16..18, output contact @21,
+           pull-up @26..28, VDD @37 *)
+        Cell.box Layer.Diffusion (Rect.make 11 1 13 39)
+      ]
+    @ contact 5 1
+    @ contact 11 1
+    (* gate a crosses column A only *)
+    @ [ Cell.box Layer.Poly (Rect.make 1 6 9 8) ]
+    (* gate b runs above column A's diffusion top and crosses column B *)
+    @ [ Cell.box Layer.Poly (Rect.make 1 16 15 18) ]
+    (* column A output contact and vertical link up to the join *)
+    @ contact 5 11
+    @ [ Cell.box Layer.Metal (Rect.make 4 10 8 24) ]
+    (* column B output contact, join strip, strap to pull-up and east port *)
+    @ contact 11 21
+    @ [ Cell.box Layer.Metal (Rect.make 4 20 14 24)
+      ; Cell.box Layer.Metal (Rect.make 14 20 w 24)
+      ; Cell.box Layer.Metal (Rect.make 14 20 18 29)
+      ]
+    (* depletion pull-up on column B *)
+    @ [ Cell.box Layer.Poly (Rect.make 9 26 17 28)
+      ; Cell.box Layer.Implant (Rect.make 9 24 15 30)
+      ]
+    @ contact 15 26
+    @ contact 11 37
+  in
+  let ports =
+    rail_ports w
+    @ [ Cell.port "a" Layer.Poly (Rect.make 1 6 1 8)
+      ; Cell.port "b" Layer.Poly (Rect.make 1 16 1 18)
+      ; Cell.port "y" Layer.Metal (Rect.make w 21 w 23)
+      ]
+  in
+  Cell.make ~name:"nor2" ~ports elements
+
+let row name cells = Compose.row ~name cells
+
+(* Inter-cell routing for [routed_chain]: stage pitch is the inverter
+   width plus a 10-lambda gap.  From stage k's output port (metal, right
+   edge, y 10..14) a metal jog runs into the gap and drops onto a
+   poly-metal contact; the contact's poly column runs down and joins a
+   leftward extension of stage k+1's input line. *)
+let routed_chain n =
+  if n < 1 then invalid_arg "Nmos.routed_chain: n must be positive";
+  let inv_cell = inv () in
+  let w = Cell.width inv_cell in
+  let gap = 10 in
+  let pitchx = w + gap in
+  let instances =
+    List.init n (fun k ->
+        Cell.instantiate
+          ~name:(Printf.sprintf "s%d" k)
+          ~trans:(Transform.translation (k * pitchx) 0)
+          inv_cell)
+  in
+  let wires = ref [] in
+  let add e = wires := e :: !wires in
+  for k = 0 to n - 2 do
+    let x0 = k * pitchx in
+    (* metal jog from the output port into the gap *)
+    add (Cell.box Layer.Metal (Rect.make (x0 + w) 11 (x0 + w + 9) 15));
+    (* poly-metal contact in the gap *)
+    add (Cell.box Layer.Contact (Rect.make (x0 + w + 6) 12 (x0 + w + 8) 14));
+    (* poly column down to the next stage's input line, plus the
+       leftward extension of that line *)
+    add (Cell.box Layer.Poly (Rect.make (x0 + w + 6) 6 (x0 + w + 8) 16));
+    add (Cell.box Layer.Poly (Rect.make (x0 + w + 6) 6 (x0 + pitchx + 1) 8))
+  done;
+  (* one shared rail pair spanning the gaps so supplies stay connected *)
+  add (Cell.box Layer.Metal (Rect.make 0 0 (((n - 1) * pitchx) + w) 3));
+  add (Cell.box Layer.Metal (Rect.make 0 37 (((n - 1) * pitchx) + w) 40));
+  let last = (n - 1) * pitchx in
+  let ports =
+    [ Cell.port "a" Layer.Poly (Rect.make 1 6 1 8)
+    ; Cell.port "y" Layer.Metal (Rect.make (last + w) 11 (last + w) 13)
+    ; Cell.port "gnd" Layer.Metal (Rect.make 0 0 0 3)
+    ; Cell.port "vdd" Layer.Metal (Rect.make 0 37 0 40)
+    ]
+  in
+  Cell.make
+    ~name:(Printf.sprintf "chain%d" n)
+    ~ports ~instances (List.rev !wires)

@@ -1,0 +1,41 @@
+(** Transistor-level NMOS primitive cell layouts.
+
+    All primitive cells share the standard-cell frame: height 40 lambda,
+    a 3-lambda GND rail along the bottom and VDD rail along the top that
+    span the full cell width, so cells placed in a row connect their
+    supplies by abutment (the Mead–Conway wiring-management idiom the
+    paper's C5 claim is about).
+
+    Every generated cell passes the {!Sc_drc} deck; tests enforce this.
+
+    Ports: inputs ["a"], ["b"], ["c"] on poly at the left edge, output
+    ["y"] on metal at the right edge, rails ["vdd"] / ["gnd"] at the left
+    edge of their rails. *)
+
+open Sc_layout
+
+(** Frame height in lambda. *)
+val cell_height : int
+
+(** Depletion-load inverter. *)
+val inv : unit -> Cell.t
+
+(** Series pulldown (NAND) with [n] inputs, n = 2 or 3. *)
+val nand : int -> Cell.t
+
+(** Two-input parallel pulldown (NOR). *)
+val nor2 : unit -> Cell.t
+
+(** [row name cells] abuts cells left-to-right; rails line up by
+    construction. *)
+val row : string -> Cell.t list -> Cell.t
+
+(** [routed_chain n] — [n] inverters placed with a 10-lambda routing gap
+    and *wired*: each stage's metal output jogs to a poly-metal contact
+    on the next stage's input line.  The result is a complete, routed,
+    DRC-clean multi-cell module whose artwork computes
+    [y = a] for even [n] and [y = not a] for odd [n] (verified by
+    extraction and switch-level simulation in the tests).  Ports:
+    ["a"], ["y"], ["vdd"], ["gnd"].
+    @raise Invalid_argument when [n < 1]. *)
+val routed_chain : int -> Cell.t

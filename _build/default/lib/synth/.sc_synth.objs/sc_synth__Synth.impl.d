@@ -1,0 +1,1 @@
+lib/synth/synth.ml: Array Builder Circuit Gate List Map Optimize Printf Sc_layout Sc_logic Sc_netlist Sc_pla Sc_rtl Sc_sim Sc_stdcell String Timing

@@ -1,0 +1,1 @@
+lib/synth/synth.mli: Circuit Sc_netlist Sc_pla Sc_rtl

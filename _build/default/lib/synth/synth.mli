@@ -1,0 +1,51 @@
+(** The behavioral silicon-compilation path (the paper's C3/C4/C7):
+    compile an ISP-style behavioural description to a structural netlist
+    of standard modules.
+
+    Two control/logic styles are offered, matching the structural-vs-
+    behavioral debate the paper frames:
+
+    - {!gates}: direct structural translation.  Expressions become
+      adders, comparators and boolean gates; control flow becomes
+      multiplexer trees; registers become flip-flops holding their value
+      by default.
+
+    - {!pla_fsm}: classic FSM synthesis.  The whole design is treated as
+      a finite-state machine — the state space (all register bits) and
+      input space are enumerated through the {!Sc_rtl.Interp} reference
+      semantics, the next-state/output function is minimized as a
+      multi-output cover and realized as one PLA plus a register row.
+      Only feasible when state+input bits are small (at most [max_bits]).
+
+    Both produce circuits whose simulation matches the interpreter
+    cycle-for-cycle (enforced by tests and by {!verify_against_interp}). *)
+
+open Sc_netlist
+
+type result =
+  { circuit : Circuit.t
+  ; stats : Circuit.stats
+  ; cell_area : int  (** summed standard-cell area, square lambda *)
+  ; critical_path : int  (** tau units *)
+  }
+
+(** [gates ?optimize design] — [optimize] (default true) runs
+    {!Sc_netlist.Optimize.simplify} on the result (constant folding, CSE,
+    dead-gate removal); the E2 ablation toggles it.
+    @raise Invalid_argument when the design fails {!Sc_rtl.Check.check}. *)
+val gates : ?optimize:bool -> Sc_rtl.Ast.design -> result
+
+val max_bits : int
+
+(** @raise Invalid_argument when state+input bits exceed [max_bits]. *)
+val pla_fsm : ?minimize:bool -> Sc_rtl.Ast.design -> result * Sc_pla.Generator.t
+
+(** [verify_against_interp design circuit cycles stim] — drive both the
+    interpreter and the circuit with [stim] (cycle -> input values) and
+    compare all outputs cycle by cycle.  Synthesized registers power up
+    as X while the interpreter powers up at 0, so cycles whose circuit
+    outputs still contain X are skipped; designs are expected to have a
+    reset path in [stim] that makes the two converge, and at least one
+    comparable cycle is required for a [true] verdict. *)
+val verify_against_interp :
+  Sc_rtl.Ast.design -> Circuit.t -> int -> (int -> (string * int) list) -> bool

@@ -1,0 +1,64 @@
+type rule =
+  | Min_width of Layer.t * int
+  | Min_spacing of Layer.t * Layer.t * int
+  | Min_enclosure of Layer.t * Layer.t * int
+
+open Layer
+
+let deck =
+  [ Min_width (Diffusion, 2)
+  ; Min_width (Poly, 2)
+  ; Min_width (Contact, 2)
+  ; Min_width (Metal, 3)
+  ; Min_width (Implant, 4)
+  ; Min_width (Buried, 2)
+  ; Min_width (Glass, 10)
+  ; Min_spacing (Diffusion, Diffusion, 3)
+  ; Min_spacing (Poly, Poly, 2)
+  ; Min_spacing (Metal, Metal, 3)
+  ; Min_spacing (Contact, Contact, 2)
+  ; Min_spacing (Poly, Diffusion, 1)
+  ; Min_spacing (Implant, Implant, 2)
+  ; Min_enclosure (Contact, Metal, 1)
+  ; Min_enclosure (Glass, Metal, 2)
+  ]
+
+let min_width l =
+  let rec find = function
+    | Min_width (l', w) :: _ when Layer.equal l l' -> w
+    | _ :: rest -> find rest
+    | [] -> 1
+  in
+  find deck
+
+let cross_spacing a b =
+  let rec find = function
+    | Min_spacing (x, y, s) :: _
+      when (Layer.equal a x && Layer.equal b y)
+           || (Layer.equal a y && Layer.equal b x) -> s
+    | _ :: rest -> find rest
+    | [] -> 0
+  in
+  find deck
+
+let min_spacing l = cross_spacing l l
+
+let enclosure ~inner ~outer =
+  let rec find = function
+    | Min_enclosure (i, o, m) :: _ when Layer.equal i inner && Layer.equal o outer -> m
+    | _ :: rest -> find rest
+    | [] -> 0
+  in
+  find deck
+
+let centimicrons_per_lambda = 250
+let gate_poly_extension = 2
+let gate_diff_extension = 2
+let implant_margin = 2
+
+let pp_rule ppf = function
+  | Min_width (l, w) -> Format.fprintf ppf "width(%a) >= %d" Layer.pp l w
+  | Min_spacing (a, b, s) ->
+    Format.fprintf ppf "spacing(%a,%a) >= %d" Layer.pp a Layer.pp b s
+  | Min_enclosure (i, o, m) ->
+    Format.fprintf ppf "enclosure(%a in %a) >= %d" Layer.pp i Layer.pp o m

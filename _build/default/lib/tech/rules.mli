@@ -1,0 +1,45 @@
+(** The lambda design-rule deck.
+
+    Dimensions are in lambda, the scalable unit of Mead & Conway
+    ("Introduction to VLSI Systems", ref [1] of the paper).  The deck is
+    the standard NMOS set: 2-lambda minimum features on poly and
+    diffusion, 3-lambda metal, 2x2 contact cuts with 1-lambda surround. *)
+
+type rule =
+  | Min_width of Layer.t * int
+      (** every maximal rectangle on the layer is at least this wide in
+          its narrow dimension *)
+  | Min_spacing of Layer.t * Layer.t * int
+      (** unconnected shapes on the two layers keep at least this
+          separation (same layer twice = intra-layer spacing) *)
+  | Min_enclosure of Layer.t * Layer.t * int
+      (** every shape of the first layer is enclosed by a shape of the
+          second with this margin, e.g. contact by metal *)
+
+val deck : rule list
+
+val min_width : Layer.t -> int
+
+(** Intra-layer spacing. *)
+val min_spacing : Layer.t -> int
+
+(** Inter-layer spacing; 0 when the layers have no rule. *)
+val cross_spacing : Layer.t -> Layer.t -> int
+
+(** Enclosure margin of [inner] by [outer]; 0 when no rule applies. *)
+val enclosure : inner:Layer.t -> outer:Layer.t -> int
+
+(** Centimicrons per lambda used when writing CIF (lambda = 2.5 um,
+    the 1979 Mead-Conway value). *)
+val centimicrons_per_lambda : int
+
+(** Transistor geometry helpers: poly gate extension beyond the channel
+    and diffusion source/drain extension, both in lambda. *)
+val gate_poly_extension : int
+
+val gate_diff_extension : int
+
+(** Implant margin around a depletion pull-up gate. *)
+val implant_margin : int
+
+val pp_rule : Format.formatter -> rule -> unit

@@ -1,0 +1,1 @@
+test/test_chip.ml: Alcotest Assemble Cell Format List Sc_chip Sc_cif Sc_drc Sc_geom Sc_layout Sc_tech

@@ -1,0 +1,1 @@
+test/test_cif.ml: Alcotest Ast Cell Elaborate Emit Flatten Layer List Point Printf QCheck QCheck_alcotest Rect Sc_cif Sc_geom Sc_layout Sc_tech String Transform

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Compiler Designs List Printf Sc_core Sc_netlist Sc_rtl Sc_synth String

@@ -1,0 +1,1 @@
+test/test_drc.ml: Alcotest Cell Checker Layer List QCheck QCheck_alcotest Rect Rules Sc_drc Sc_geom Sc_layout Sc_tech Transform

@@ -1,0 +1,1 @@
+test/test_extract.ml: Alcotest Array Cell Extractor List Printf QCheck QCheck_alcotest Sc_cif Sc_drc Sc_extract Sc_layout Sc_logic Sc_pla Sc_stdcell Switch

@@ -1,0 +1,1 @@
+test/test_geom.ml: Alcotest Format List Path Point QCheck QCheck_alcotest Rect Sc_geom Transform

@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Cell List Sc_cif Sc_drc Sc_lang Sc_layout String

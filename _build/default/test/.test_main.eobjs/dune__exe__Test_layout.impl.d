@@ -1,0 +1,1 @@
+test/test_layout.ml: Alcotest Cell Compose Flatten Layer List Point Printf Rect Sc_geom Sc_layout Sc_tech Stats Transform

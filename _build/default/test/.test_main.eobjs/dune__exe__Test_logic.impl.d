@@ -1,0 +1,1 @@
+test/test_logic.ml: Alcotest Array Cover Cube Expr Minimize Printf QCheck QCheck_alcotest Sc_logic

@@ -1,0 +1,1 @@
+test/test_netlist.ml: Alcotest Array Builder Circuit Gate List Optimize Printf QCheck QCheck_alcotest Sc_netlist Sc_sim String Timing

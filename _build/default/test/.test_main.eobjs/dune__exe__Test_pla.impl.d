@@ -1,0 +1,1 @@
+test/test_pla.ml: Alcotest Array Cover Cube Engine Format List Option Printf QCheck QCheck_alcotest Sc_drc Sc_layout Sc_logic Sc_pla Sc_rom Sc_sim

@@ -1,0 +1,1 @@
+test/test_place_route.ml: Alcotest Array Builder List Printf QCheck QCheck_alcotest Sc_drc Sc_layout Sc_netlist Sc_place Sc_route

@@ -1,0 +1,1 @@
+test/test_rtl.ml: Alcotest Ast Check Format Interp List Parser Printf Sc_rtl String

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Builder Engine Gate Option Printf QCheck QCheck_alcotest Sc_netlist Sc_sim String

@@ -1,0 +1,1 @@
+test/test_stdcell.ml: Alcotest Array Builder Cell Flatten Format Gate Library List Nmos Sc_cif Sc_drc Sc_geom Sc_layout Sc_netlist Sc_stdcell Sc_tech Stats

@@ -1,0 +1,1 @@
+test/test_synth.ml: Alcotest Array List Parser Printf QCheck QCheck_alcotest Sc_drc Sc_netlist Sc_pla Sc_rtl Sc_synth

@@ -1,0 +1,1 @@
+test/test_tech_render.ml: Alcotest Cell Filename Format Layer List Render Rules Sc_geom Sc_layout Sc_stdcell Sc_tech String Sys

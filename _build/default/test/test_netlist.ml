@@ -1,0 +1,314 @@
+open Sc_netlist
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* one-bit full adder as a reusable sub-circuit *)
+let full_adder () =
+  let b = Builder.create "fa" in
+  let a = (Builder.input b "a" 1).(0) in
+  let x = (Builder.input b "b" 1).(0) in
+  let cin = (Builder.input b "cin" 1).(0) in
+  let p = Builder.xor2 b a x in
+  let s = Builder.xor2 b p cin in
+  let g = Builder.and2 b a x in
+  let pc = Builder.and2 b p cin in
+  let cout = Builder.or2 b g pc in
+  Builder.output b "s" [| s |];
+  Builder.output b "cout" [| cout |];
+  Builder.finish b
+
+let ripple4 () =
+  let fa = full_adder () in
+  let b = Builder.create "ripple4" in
+  let xs = Builder.input b "x" 4 in
+  let ys = Builder.input b "y" 4 in
+  let sums = Builder.fresh_vec b 4 in
+  let carries = Builder.fresh_vec b 4 in
+  for i = 0 to 3 do
+    let cin = if i = 0 then Builder.const0 else carries.(i - 1) in
+    Builder.inst b
+      ~name:(Printf.sprintf "fa%d" i)
+      fa
+      [ ("a", [| xs.(i) |])
+      ; ("b", [| ys.(i) |])
+      ; ("cin", [| cin |])
+      ; ("s", [| sums.(i) |])
+      ; ("cout", [| carries.(i) |])
+      ]
+  done;
+  Builder.output b "sum" sums;
+  Builder.output b "cout" [| carries.(3) |];
+  Builder.finish b
+
+let test_builder_check_clean () =
+  let c = full_adder () in
+  Alcotest.(check (list string)) "clean" [] (Circuit.check c)
+
+let test_hierarchy_check_clean () =
+  let c = ripple4 () in
+  Alcotest.(check (list string)) "clean" [] (Circuit.check c)
+
+let test_arity_rejected () =
+  let b = Builder.create "bad" in
+  let a = (Builder.input b "a" 1).(0) in
+  Alcotest.check_raises "wrong arity"
+    (Invalid_argument "Circuit bad: gate g1 has 1 inputs, nand2 wants 2")
+    (fun () ->
+      Builder.gate_into b Gate.Nand2 [| a |] (Builder.fresh b);
+      ignore (Builder.finish b))
+
+let test_undriven_detected () =
+  let b = Builder.create "undriven" in
+  let _ = Builder.input b "a" 1 in
+  let floating = Builder.fresh b in
+  let y = Builder.not_ b floating in
+  Builder.output b "y" [| y |];
+  let c = Builder.finish b in
+  check_bool "reported" true (Circuit.check c <> [])
+
+let test_double_driver_detected () =
+  let b = Builder.create "dd" in
+  let a = (Builder.input b "a" 1).(0) in
+  let n = Builder.fresh b in
+  Builder.gate_into b Gate.Inv [| a |] n;
+  Builder.gate_into b Gate.Buf [| a |] n;
+  Builder.output b "y" [| n |];
+  let c = Builder.finish b in
+  check_bool "reported" true
+    (List.exists
+       (fun s -> String.length s > 0 && String.sub s 0 3 = "net")
+       (Circuit.check c))
+
+let test_open_instance_port_rejected () =
+  let fa = full_adder () in
+  let b = Builder.create "open" in
+  let xs = Builder.input b "x" 1 in
+  Alcotest.check_raises "open port"
+    (Invalid_argument "Circuit open: instance fa0 leaves port cout open")
+    (fun () ->
+      Builder.inst b ~name:"fa0" fa
+        [ ("a", xs)
+        ; ("b", [| Builder.const0 |])
+        ; ("cin", [| Builder.const0 |])
+        ; ("s", [| Builder.fresh b |])
+        ];
+      ignore (Builder.finish b))
+
+let test_flatten_counts () =
+  let c = ripple4 () in
+  let f = Circuit.flatten c in
+  check_int "no instances left" 0 (List.length f.Circuit.insts);
+  (* 5 gates per FA x 4 *)
+  check_int "gates" 20 (List.length f.Circuit.gates);
+  Alcotest.(check (list string)) "flat clean" [] (Circuit.check f)
+
+let test_stats () =
+  let s = Circuit.stats (ripple4 ()) in
+  check_int "gate total" 20 s.Circuit.gate_total;
+  check_int "instances" 4 s.Circuit.module_instances;
+  check_int "no ffs" 0 s.Circuit.flipflops;
+  check_bool "transistors counted" true (s.Circuit.transistors > 0)
+
+let test_cycle_detection () =
+  let b = Builder.create "cyc" in
+  let a = (Builder.input b "a" 1).(0) in
+  let n1 = Builder.fresh b in
+  let n2 = Builder.fresh b in
+  Builder.gate_into b Gate.Nand2 [| a; n2 |] n1;
+  Builder.gate_into b Gate.Inv [| n1 |] n2;
+  Builder.output b "y" [| n2 |];
+  let c = Builder.finish b in
+  check_bool "cycle found" true (Circuit.has_combinational_cycle c)
+
+let test_dff_breaks_cycle () =
+  let b = Builder.create "reg_loop" in
+  let n1 = Builder.fresh b in
+  let q = Builder.dff b n1 in
+  Builder.gate_into b Gate.Inv [| q |] n1;
+  Builder.output b "q" [| q |];
+  let c = Builder.finish b in
+  check_bool "no combinational cycle" false (Circuit.has_combinational_cycle c)
+
+let test_critical_path_chain () =
+  let b = Builder.create "chain" in
+  let a = (Builder.input b "a" 1).(0) in
+  let n = ref a in
+  for _ = 1 to 10 do
+    n := Builder.not_ b !n
+  done;
+  Builder.output b "y" [| !n |];
+  let c = Builder.finish b in
+  check_int "10 inverters" 10 (Timing.critical_path c)
+
+let test_critical_path_through_hierarchy () =
+  let c = ripple4 () in
+  (* ripple carry: xor(3) + 3 stages of carry + final xor; just check
+     monotonicity vs a single FA *)
+  let single = full_adder () in
+  check_bool "ripple slower than one FA" true
+    (Timing.critical_path c > Timing.critical_path single)
+
+let test_dff_cuts_path () =
+  let b = Builder.create "cut" in
+  let a = (Builder.input b "a" 1).(0) in
+  let x1 = Builder.not_ b a in
+  let q = Builder.dff b x1 in
+  let x2 = Builder.not_ b q in
+  Builder.output b "y" [| x2 |];
+  let c = Builder.finish b in
+  check_int "path is one inverter" 1 (Timing.critical_path c)
+
+let test_cycle_raises_in_timing () =
+  let b = Builder.create "cyc2" in
+  let n1 = Builder.fresh b in
+  let n2 = Builder.fresh b in
+  Builder.gate_into b Gate.Inv [| n2 |] n1;
+  Builder.gate_into b Gate.Inv [| n1 |] n2;
+  Builder.output b "y" [| n2 |];
+  let c = Builder.finish b in
+  check_bool "raises" true
+    (try
+       ignore (Timing.critical_path c);
+       false
+     with Timing.Combinational_cycle -> true)
+
+let prop_gate_eval_matches_kind =
+  let gen =
+    QCheck.Gen.(
+      pair
+        (oneofl
+           [ Gate.Inv; Gate.Buf; Gate.Nand2; Gate.Nand3; Gate.Nor2; Gate.Nor3
+           ; Gate.And2; Gate.Or2; Gate.Xor2; Gate.Xnor2; Gate.Mux2
+           ])
+        (array_size (return 3) bool))
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"gate eval consistency (de Morgan pairs)" ~count:200
+       (QCheck.make gen) (fun (k, bits) ->
+         let ins = Array.sub bits 0 (Gate.arity k) in
+         let v = Gate.eval k ins in
+         match k with
+         | Gate.Nand2 -> v = not (Gate.eval Gate.And2 ins)
+         | Gate.Nor2 -> v = not (Gate.eval Gate.Or2 ins)
+         | Gate.Xnor2 -> v = not (Gate.eval Gate.Xor2 ins)
+         | Gate.Buf -> v = ins.(0)
+         | Gate.Inv -> v = not ins.(0)
+         | _ -> true))
+
+
+(* --- optimizer --- *)
+
+let test_optimize_folds_constants () =
+  let b = Builder.create "c" in
+  let a = (Builder.input b "a" 1).(0) in
+  let x = Builder.and2 b a Builder.const0 in
+  let y = Builder.or2 b x Builder.const1 in
+  let z = Builder.xor2 b y Builder.const0 in
+  Builder.output b "z" [| z |];
+  let c = Optimize.simplify (Builder.finish b) in
+  (* everything folds to constant true *)
+  check_int "no gates left" 0 (List.length c.Circuit.gates)
+
+let test_optimize_cse () =
+  let b = Builder.create "c" in
+  let a = (Builder.input b "a" 1).(0) in
+  let x = (Builder.input b "x" 1).(0) in
+  let g1 = Builder.and2 b a x in
+  let g2 = Builder.and2 b x a in
+  (* commutative duplicates *)
+  Builder.output b "y" [| Builder.or2 b g1 g2 |];
+  let c = Optimize.simplify (Builder.finish b) in
+  (* or(g,g) collapses too: a single and gate remains *)
+  check_int "one gate" 1 (List.length c.Circuit.gates)
+
+let test_optimize_removes_dead () =
+  let b = Builder.create "c" in
+  let a = (Builder.input b "a" 1).(0) in
+  let _dead = Builder.not_ b (Builder.not_ b a) in
+  Builder.output b "y" [| a |];
+  let c = Optimize.simplify (Builder.finish b) in
+  check_int "dead gates gone" 0 (List.length c.Circuit.gates)
+
+let test_optimize_double_inverter () =
+  let b = Builder.create "c" in
+  let a = (Builder.input b "a" 1).(0) in
+  let y = Builder.not_ b (Builder.not_ b a) in
+  Builder.output b "y" [| y |];
+  let c = Optimize.simplify (Builder.finish b) in
+  check_int "collapsed" 0 (List.length c.Circuit.gates);
+  Alcotest.(check (list string)) "still clean" [] (Circuit.check c)
+
+let prop_optimize_preserves_function =
+  let gen =
+    QCheck.Gen.(
+      list_size (int_range 3 25)
+        (triple (int_range 0 10) (int_range 0 10) (int_range 0 6)))
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"simplify preserves combinational functions"
+       ~count:80 (QCheck.make gen) (fun spec ->
+         (* build a random DAG over 4 inputs *)
+         let b = Builder.create "r" in
+         let ins = Builder.input b "x" 4 in
+         let pool = ref (Array.to_list ins) in
+         let pick k =
+           let l = !pool in
+           List.nth l (k mod List.length l)
+         in
+         List.iter
+           (fun (i, j, op) ->
+             let a = pick i and c = pick j in
+             let n =
+               match op with
+               | 0 -> Builder.and2 b a c
+               | 1 -> Builder.or2 b a c
+               | 2 -> Builder.xor2 b a c
+               | 3 -> Builder.nand2 b a c
+               | 4 -> Builder.nor2 b a c
+               | 5 -> Builder.not_ b a
+               | _ -> Builder.mux2 b ~sel:a c (pick (i + j))
+             in
+             pool := n :: !pool)
+           spec;
+         let outs = Array.of_list (List.filteri (fun i _ -> i < 3) !pool) in
+         Builder.output b "y" outs;
+         let c = Builder.finish b in
+         let c' = Optimize.simplify c in
+         (List.length c'.Circuit.gates <= List.length c.Circuit.gates)
+         &&
+         let t1 = Sc_sim.Engine.create c in
+         let t2 = Sc_sim.Engine.create c' in
+         let ok = ref true in
+         for v = 0 to 15 do
+           Sc_sim.Engine.set_input_int t1 "x" v;
+           Sc_sim.Engine.set_input_int t2 "x" v;
+           if
+             Sc_sim.Engine.get_output_int t1 "y"
+             <> Sc_sim.Engine.get_output_int t2 "y"
+           then ok := false
+         done;
+         !ok))
+
+let suite =
+  [ Alcotest.test_case "builder produces clean circuit" `Quick test_builder_check_clean
+  ; Alcotest.test_case "hierarchy is clean" `Quick test_hierarchy_check_clean
+  ; Alcotest.test_case "arity mismatch rejected" `Quick test_arity_rejected
+  ; Alcotest.test_case "undriven nets detected" `Quick test_undriven_detected
+  ; Alcotest.test_case "double drivers detected" `Quick test_double_driver_detected
+  ; Alcotest.test_case "open instance port rejected" `Quick test_open_instance_port_rejected
+  ; Alcotest.test_case "flatten expands instances" `Quick test_flatten_counts
+  ; Alcotest.test_case "stats" `Quick test_stats
+  ; Alcotest.test_case "combinational cycle detected" `Quick test_cycle_detection
+  ; Alcotest.test_case "dff breaks cycle" `Quick test_dff_breaks_cycle
+  ; Alcotest.test_case "critical path of inverter chain" `Quick test_critical_path_chain
+  ; Alcotest.test_case "critical path through hierarchy" `Quick test_critical_path_through_hierarchy
+  ; Alcotest.test_case "dff cuts timing path" `Quick test_dff_cuts_path
+  ; Alcotest.test_case "timing raises on cycle" `Quick test_cycle_raises_in_timing
+  ; prop_gate_eval_matches_kind
+  ; Alcotest.test_case "optimize folds constants" `Quick test_optimize_folds_constants
+  ; Alcotest.test_case "optimize CSE" `Quick test_optimize_cse
+  ; Alcotest.test_case "optimize removes dead gates" `Quick test_optimize_removes_dead
+  ; Alcotest.test_case "optimize double inverter" `Quick test_optimize_double_inverter
+  ; prop_optimize_preserves_function
+  ]

@@ -1,0 +1,231 @@
+open Sc_netlist
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let sample_circuit () =
+  (* a small random-logic block: 4-bit adder plus some glue *)
+  let b = Builder.create "blk" in
+  let xs = Builder.input b "x" 4 in
+  let ys = Builder.input b "y" 4 in
+  let sums, cout = Builder.adder b xs ys in
+  let z = Builder.and_reduce b (Array.to_list sums) in
+  Builder.output b "sum" sums;
+  Builder.output b "z" [| Builder.or2 b z cout |];
+  Builder.finish b
+
+(* --- placement --- *)
+
+let test_problem_extraction () =
+  let p = Sc_place.Placer.problem_of_circuit (sample_circuit ()) in
+  check_bool "items" true (Array.length p.Sc_place.Placer.kinds > 10);
+  check_bool "nets" true (Array.length p.Sc_place.Placer.nets > 5);
+  (* all net endpoints are valid item indices *)
+  Array.iter
+    (Array.iter (fun i ->
+         check_bool "endpoint in range" true
+           (i >= 0 && i < Array.length p.Sc_place.Placer.kinds)))
+    p.Sc_place.Placer.nets
+
+let test_placements_disjoint () =
+  let p = Sc_place.Placer.problem_of_circuit (sample_circuit ()) in
+  List.iter
+    (fun pl ->
+      let n = Array.length p.Sc_place.Placer.kinds in
+      for i = 0 to n - 1 do
+        for j = i + 1 to n - 1 do
+          if pl.Sc_place.Placer.row.(i) = pl.Sc_place.Placer.row.(j) then begin
+            let x0 = pl.Sc_place.Placer.x.(i)
+            and x1 = pl.Sc_place.Placer.x.(i) + p.Sc_place.Placer.widths.(i) in
+            let y0 = pl.Sc_place.Placer.x.(j)
+            and y1 = pl.Sc_place.Placer.x.(j) + p.Sc_place.Placer.widths.(j) in
+            check_bool "no overlap" true (x1 <= y0 || y1 <= x0)
+          end
+        done
+      done)
+    [ Sc_place.Placer.random p; Sc_place.Placer.ordered p ]
+
+let test_ordered_beats_random () =
+  let p = Sc_place.Placer.problem_of_circuit (sample_circuit ()) in
+  let r = Sc_place.Placer.hpwl (Sc_place.Placer.random p) in
+  let o = Sc_place.Placer.hpwl (Sc_place.Placer.ordered p) in
+  check_bool (Printf.sprintf "ordered %d <= random %d" o r) true (o <= r)
+
+let test_improve_monotone () =
+  let p = Sc_place.Placer.problem_of_circuit (sample_circuit ()) in
+  let pl = Sc_place.Placer.random p in
+  let better = Sc_place.Placer.improve ~iters:500 pl in
+  check_bool "improve does not worsen" true
+    (Sc_place.Placer.hpwl better <= Sc_place.Placer.hpwl pl)
+
+let test_to_layout_drc_clean () =
+  let p = Sc_place.Placer.problem_of_circuit (sample_circuit ()) in
+  let pl = Sc_place.Placer.ordered p in
+  let layout = Sc_place.Placer.to_layout ~name:"blk" pl in
+  check_bool "placement layout is DRC clean" true (Sc_drc.Checker.is_clean layout);
+  (* one instance per gate *)
+  check_int "instances"
+    (Array.length p.Sc_place.Placer.kinds)
+    (List.length layout.Sc_layout.Cell.instances)
+
+(* --- channel routing --- *)
+
+open Sc_route.Channel
+
+let simple_spec =
+  { top = [ { x = 0; net = 1 }; { x = 14; net = 2 }; { x = 28; net = 3 } ]
+  ; bottom = [ { x = 7; net = 1 }; { x = 21; net = 2 }; { x = 35; net = 3 } ]
+  ; width = 40
+  }
+
+let test_route_simple () =
+  let r = route simple_spec in
+  check_bool "few tracks" true (r.tracks <= 2);
+  check_bool "drc clean" true (Sc_drc.Checker.is_clean r.layout)
+
+let test_route_shares_track () =
+  (* nets 1 and 3 do not overlap horizontally: same track *)
+  let spec =
+    { top = [ { x = 0; net = 1 }; { x = 30; net = 3 } ]
+    ; bottom = [ { x = 7; net = 1 }; { x = 40; net = 3 } ]
+    ; width = 50
+    }
+  in
+  let r = route spec in
+  check_int "one track" 1 r.tracks
+
+let test_route_through () =
+  let spec =
+    { top = [ { x = 10; net = 1 } ]
+    ; bottom = [ { x = 10; net = 1 } ]
+    ; width = 20
+    }
+  in
+  let r = route spec in
+  check_int "no tracks needed" 0 r.tracks;
+  check_bool "still has geometry" true
+    (Sc_layout.Cell.bbox r.layout <> None)
+
+let test_vertical_constraint_ordering () =
+  (* column 10: net 1 on top, net 2 on bottom -> net 1's trunk above *)
+  let spec =
+    { top = [ { x = 10; net = 1 }; { x = 24; net = 1 } ]
+    ; bottom = [ { x = 10; net = 2 }; { x = 31; net = 2 } ]
+    ; width = 40
+    }
+  in
+  let r = route spec in
+  check_int "two tracks" 2 r.tracks;
+  check_bool "drc clean" true (Sc_drc.Checker.is_clean r.layout)
+
+let test_cycle_detected () =
+  let spec =
+    { top = [ { x = 0; net = 1 }; { x = 10; net = 2 } ]
+    ; bottom = [ { x = 0; net = 2 }; { x = 10; net = 1 } ]
+    ; width = 20
+    }
+  in
+  check_bool "raises" true
+    (try
+       ignore (route spec);
+       false
+     with Unroutable _ -> true)
+
+let test_dogleg_reduces_tracks () =
+  (* one long net visiting many columns against short nets: doglegs let the
+     long net change tracks *)
+  let spec =
+    { top =
+        [ { x = 0; net = 9 }; { x = 14; net = 1 }; { x = 28; net = 9 }
+        ; { x = 42; net = 2 }; { x = 56; net = 9 }
+        ]
+    ; bottom = [ { x = 7; net = 1 }; { x = 35; net = 2 } ]
+    ; width = 60
+    }
+  in
+  let plain = route spec in
+  let dog = route ~dogleg:true spec in
+  check_bool "dogleg not worse" true (dog.tracks <= plain.tracks);
+  check_bool "both clean" true
+    (Sc_drc.Checker.is_clean plain.layout && Sc_drc.Checker.is_clean dog.layout)
+
+let test_pin_spacing_validated () =
+  let spec =
+    { top = [ { x = 0; net = 1 }; { x = 3; net = 2 } ]; bottom = []; width = 20 }
+  in
+  check_bool "rejected" true
+    (try
+       ignore (route spec);
+       false
+     with Invalid_argument _ -> true)
+
+let test_river () =
+  let r = river ~width:60 [ (0, 14); (10, 28); (21, 35); (35, 49) ] in
+  check_bool "clean" true (Sc_drc.Checker.is_clean r.layout);
+  check_bool "bounded tracks" true (r.tracks <= 4)
+
+
+let test_route_channels () =
+  let p = Sc_place.Placer.problem_of_circuit (sample_circuit ()) in
+  let pl = Sc_place.Placer.ordered p in
+  let rc = Sc_place.Placer.route_channels pl in
+  (* one channel per adjacent row pair with crossing nets *)
+  check_bool "channels exist" true
+    (List.length rc.Sc_place.Placer.channels >= 1
+    && List.length rc.Sc_place.Placer.channels <= pl.Sc_place.Placer.nrows - 1);
+  check_bool "heights positive" true (rc.Sc_place.Placer.total_height > 0);
+  (* every channel's geometry is DRC clean *)
+  List.iter
+    (fun (c : Sc_route.Channel.routed) ->
+      check_bool "channel clean" true (Sc_drc.Checker.is_clean c.layout))
+    rc.Sc_place.Placer.channels
+
+let test_route_channels_structure_helps () =
+  let p = Sc_place.Placer.problem_of_circuit (sample_circuit ()) in
+  let rnd = (Sc_place.Placer.route_channels (Sc_place.Placer.random p)).Sc_place.Placer.total_height in
+  let ord =
+    (Sc_place.Placer.route_channels
+       (Sc_place.Placer.improve ~iters:2000 (Sc_place.Placer.ordered p)))
+      .Sc_place.Placer.total_height
+  in
+  check_bool
+    (Printf.sprintf "ordered %d <= random %d" ord rnd)
+    true (ord <= rnd)
+
+let prop_random_channels_route_clean =
+  (* random non-conflicting specs: distinct nets per column, no cycles by
+     construction (top pins use nets 0..k-1 left to right, bottom pins the
+     same nets in the same order, shifted columns) *)
+  let gen =
+    QCheck.Gen.(
+      let* k = int_range 2 6 in
+      let* shift = int_range 1 3 in
+      return (k, shift))
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"order-preserving channels route clean" ~count:40
+       (QCheck.make gen) (fun (k, shift) ->
+         let top = List.init k (fun i -> { x = i * 14; net = i }) in
+         let bottom = List.init k (fun i -> { x = (i * 14) + (7 * shift); net = i }) in
+         let width = (k * 14) + (7 * shift) + 2 in
+         let r = route { top; bottom; width } in
+         Sc_drc.Checker.is_clean r.layout))
+
+let suite =
+  [ Alcotest.test_case "problem extraction" `Quick test_problem_extraction
+  ; Alcotest.test_case "placements disjoint" `Quick test_placements_disjoint
+  ; Alcotest.test_case "ordered beats random" `Quick test_ordered_beats_random
+  ; Alcotest.test_case "improve monotone" `Quick test_improve_monotone
+  ; Alcotest.test_case "placement layout DRC clean" `Quick test_to_layout_drc_clean
+  ; Alcotest.test_case "route simple" `Quick test_route_simple
+  ; Alcotest.test_case "route shares track" `Quick test_route_shares_track
+  ; Alcotest.test_case "route through pin" `Quick test_route_through
+  ; Alcotest.test_case "vertical constraints ordered" `Quick test_vertical_constraint_ordering
+  ; Alcotest.test_case "cycle detected" `Quick test_cycle_detected
+  ; Alcotest.test_case "dogleg reduces tracks" `Quick test_dogleg_reduces_tracks
+  ; Alcotest.test_case "pin spacing validated" `Quick test_pin_spacing_validated
+  ; Alcotest.test_case "river route" `Quick test_river
+  ; Alcotest.test_case "route channels from placement" `Quick test_route_channels
+  ; Alcotest.test_case "routed channels: structure helps" `Quick test_route_channels_structure_helps
+  ; prop_random_channels_route_clean
+  ]

@@ -1,0 +1,115 @@
+open Sc_tech
+open Sc_layout
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- technology --- *)
+
+let test_layer_cif_names_roundtrip () =
+  List.iter
+    (fun l ->
+      match Layer.of_cif_name (Layer.cif_name l) with
+      | Some l' -> check_bool (Layer.to_string l) true (Layer.equal l l')
+      | None -> Alcotest.fail "missing roundtrip")
+    Layer.all;
+  check_bool "unknown rejected" true (Layer.of_cif_name "XX" = None)
+
+let test_layer_indices_dense () =
+  let idx = List.map Layer.index Layer.all in
+  Alcotest.(check (list int)) "dense" [ 0; 1; 2; 3; 4; 5; 6 ] idx;
+  check_int "count" (List.length Layer.all) Layer.count
+
+let test_rule_deck_values () =
+  (* the Mead-Conway numbers *)
+  check_int "diff width" 2 (Rules.min_width Layer.Diffusion);
+  check_int "poly width" 2 (Rules.min_width Layer.Poly);
+  check_int "metal width" 3 (Rules.min_width Layer.Metal);
+  check_int "diff spacing" 3 (Rules.min_spacing Layer.Diffusion);
+  check_int "poly spacing" 2 (Rules.min_spacing Layer.Poly);
+  check_int "metal spacing" 3 (Rules.min_spacing Layer.Metal);
+  check_int "poly-diff" 1 (Rules.cross_spacing Layer.Poly Layer.Diffusion);
+  check_int "symmetric" 1 (Rules.cross_spacing Layer.Diffusion Layer.Poly);
+  check_int "contact in metal" 1
+    (Rules.enclosure ~inner:Layer.Contact ~outer:Layer.Metal);
+  check_int "no bogus enclosure" 0
+    (Rules.enclosure ~inner:Layer.Metal ~outer:Layer.Contact);
+  check_int "lambda scale" 250 Rules.centimicrons_per_lambda
+
+let test_rule_deck_covers_all_layers () =
+  List.iter
+    (fun l ->
+      check_bool (Layer.to_string l ^ " has width rule") true
+        (Rules.min_width l >= 1))
+    Layer.all
+
+let test_rule_pp () =
+  let s = Format.asprintf "%a" Rules.pp_rule (List.hd Rules.deck) in
+  check_bool "prints something" true (String.length s > 5)
+
+(* --- SVG rendering --- *)
+
+let contains hay needle =
+  let n = String.length hay and m = String.length needle in
+  let rec go i = i + m <= n && (String.sub hay i m = needle || go (i + 1)) in
+  go 0
+
+let test_svg_structure () =
+  let svg = Render.to_svg (Sc_stdcell.Nmos.inv ()) in
+  check_bool "svg element" true (contains svg "<svg");
+  check_bool "closed" true (contains svg "</svg>");
+  (* all four drawn layers of the inverter appear *)
+  check_bool "diffusion colour" true (contains svg "#2e8b57");
+  check_bool "poly colour" true (contains svg "#d0312d");
+  check_bool "metal colour" true (contains svg "#3a6ea5");
+  check_bool "contact colour" true (contains svg "#111111");
+  (* port labels *)
+  check_bool "port a labelled" true (contains svg ">a<");
+  check_bool "port y labelled" true (contains svg ">y<")
+
+let test_svg_rect_count () =
+  let cell =
+    Cell.make ~name:"two"
+      [ Cell.box Layer.Metal (Sc_geom.Rect.make 0 0 4 4)
+      ; Cell.box Layer.Poly (Sc_geom.Rect.make 10 0 14 4)
+      ]
+  in
+  let svg = Render.to_svg cell in
+  (* background + 2 boxes *)
+  let count = ref 0 in
+  let m = "<rect" in
+  let n = String.length svg in
+  for i = 0 to n - String.length m do
+    if String.sub svg i (String.length m) = m then incr count
+  done;
+  check_int "rect elements" 3 !count
+
+let test_svg_scale () =
+  let cell =
+    Cell.make ~name:"c" [ Cell.box Layer.Metal (Sc_geom.Rect.make 0 0 10 10) ]
+  in
+  let s1 = Render.to_svg ~scale:1 cell in
+  let s5 = Render.to_svg ~scale:5 cell in
+  check_bool "bigger scale, bigger canvas" true
+    (String.length s5 >= String.length s1 && contains s5 "width=\"90\"")
+
+let test_svg_write () =
+  let path = Filename.temp_file "render" ".svg" in
+  Render.write_svg path (Sc_stdcell.Nmos.nor2 ());
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  close_in ic;
+  Sys.remove path;
+  check_bool "file written" true (len > 200)
+
+let suite =
+  [ Alcotest.test_case "layer CIF names roundtrip" `Quick test_layer_cif_names_roundtrip
+  ; Alcotest.test_case "layer indices dense" `Quick test_layer_indices_dense
+  ; Alcotest.test_case "rule deck values" `Quick test_rule_deck_values
+  ; Alcotest.test_case "rule deck covers layers" `Quick test_rule_deck_covers_all_layers
+  ; Alcotest.test_case "rule pretty-print" `Quick test_rule_pp
+  ; Alcotest.test_case "svg structure" `Quick test_svg_structure
+  ; Alcotest.test_case "svg rect count" `Quick test_svg_rect_count
+  ; Alcotest.test_case "svg scale" `Quick test_svg_scale
+  ; Alcotest.test_case "svg write" `Quick test_svg_write
+  ]
