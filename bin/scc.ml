@@ -7,7 +7,14 @@
      scc stats FILE     report area/device statistics of a CIF file
      scc sim FILE       interpret an ISP description with a trivial stimulus
      scc extract FILE   extract the transistor circuit from CIF geometry
-     scc svg FILE       render CIF artwork as SVG *)
+     scc svg FILE       render CIF artwork as SVG
+     scc equiv A B      prove two circuits equivalent (BDD engine)
+
+   layout/behavior also take --verify, which formally certifies the
+   stage: behavior equivalence-checks the optimizer's output against the
+   raw translation, layout equivalence-checks the primitive cell
+   artwork (extracted and exhaustively tabulated at switch level)
+   against its gate specification. *)
 
 open Cmdliner
 
@@ -58,8 +65,45 @@ let args_arg =
     & opt (list int) []
     & info [ "a"; "args" ] ~docv:"INTS" ~doc:"Entry cell arguments.")
 
+let verify_arg =
+  Arg.(
+    value & flag
+    & info [ "verify" ]
+        ~doc:"Formally certify the compilation stage with the BDD engine.")
+
+(* certify the primitive cell library: extract each cell's masks,
+   tabulate the transistor netlist at switch level, and prove the result
+   equal to the gate the library claims the cell implements *)
+let verify_cell_library () =
+  let gate_ref name kind ins =
+    let b = Sc_netlist.Builder.create name in
+    let nets = List.map (fun n -> (Sc_netlist.Builder.input b n 1).(0)) ins in
+    Sc_netlist.Builder.output b "y"
+      [| Sc_netlist.Builder.gate b kind (Array.of_list nets) |];
+    Sc_netlist.Builder.finish b
+  in
+  List.fold_left
+    (fun bad (name, cell, kind, ins) ->
+      match
+        Sc_equiv.Checker.check_artwork cell ~inputs:ins ~outputs:[ "y" ]
+          (gate_ref name kind ins)
+      with
+      | Sc_equiv.Checker.Equivalent ->
+        Printf.eprintf "verify: artwork %-6s equivalent to its gate\n%!" name;
+        bad
+      | Sc_equiv.Checker.Not_equivalent _ as v ->
+        Printf.eprintf "verify: artwork %s FAILED: %s\n%!" name
+          (Format.asprintf "%a" Sc_equiv.Checker.pp_verdict v);
+        bad + 1)
+    0
+    [ ("inv", Sc_stdcell.Nmos.inv (), Sc_netlist.Gate.Inv, [ "a" ])
+    ; ("nand2", Sc_stdcell.Nmos.nand 2, Sc_netlist.Gate.Nand2, [ "a"; "b" ])
+    ; ("nand3", Sc_stdcell.Nmos.nand 3, Sc_netlist.Gate.Nand3, [ "a"; "b"; "c" ])
+    ; ("nor2", Sc_stdcell.Nmos.nor2 (), Sc_netlist.Gate.Nor2, [ "a"; "b" ])
+    ]
+
 let layout_cmd =
-  let run file entry args output =
+  let run file entry args output verify =
     match Sc_core.Compiler.compile_layout ?entry ~args (read_file file) with
     | Error e ->
       Printf.eprintf "error: %s\n" e;
@@ -67,11 +111,11 @@ let layout_cmd =
     | Ok c ->
       report_compiled c;
       write_out output c.Sc_core.Compiler.cif;
-      0
+      if verify then (if verify_cell_library () = 0 then 0 else 1) else 0
   in
   Cmd.v
     (Cmd.info "layout" ~doc:"Compile a layout-language program to CIF.")
-    Term.(const run $ file_arg $ entry_arg $ args_arg $ output_arg)
+    Term.(const run $ file_arg $ entry_arg $ args_arg $ output_arg $ verify_arg)
 
 (* --- behavior --- *)
 
@@ -84,8 +128,9 @@ let style_arg =
         ~doc:"Control style: $(b,gates) (random logic) or $(b,pla).")
 
 let behavior_cmd =
-  let run file style output =
-    match Sc_core.Compiler.compile_behavior ~style (read_file file) with
+  let run file style output verify =
+    let src = read_file file in
+    match Sc_core.Compiler.compile_behavior ~style src with
     | Error e ->
       Printf.eprintf "error: %s\n" e;
       1
@@ -95,11 +140,29 @@ let behavior_cmd =
         s.Sc_netlist.Circuit.gate_total s.Sc_netlist.Circuit.flipflops;
       report_compiled c;
       write_out output c.Sc_core.Compiler.cif;
-      0
+      if verify then begin
+        (* the self-check re-synthesizes and proves the optimized netlist
+           equivalent to the raw translation *)
+        match Sc_rtl.Parser.parse src with
+        | Error e ->
+          Printf.eprintf "verify: parse error: %s\n" e;
+          1
+        | Ok design -> (
+          match Sc_synth.Synth.gates ~selfcheck:true design with
+          | _ ->
+            Printf.eprintf
+              "verify: optimized netlist proven equivalent to raw \
+               translation\n%!";
+            0
+          | exception Failure msg ->
+            Printf.eprintf "verify: %s\n" msg;
+            1)
+      end
+      else 0
   in
   Cmd.v
     (Cmd.info "behavior" ~doc:"Compile an ISP behavioral description to CIF.")
-    Term.(const run $ file_arg $ style_arg $ output_arg)
+    Term.(const run $ file_arg $ style_arg $ output_arg $ verify_arg)
 
 (* --- drc / stats on CIF files --- *)
 
@@ -206,10 +269,125 @@ let sim_cmd =
           inputs zero).")
     Term.(const run $ file_arg $ cycles_arg)
 
+(* --- equiv --- *)
+
+(* A circuit spec is one of:
+     hand:NAME   a hand-built baseline from Sc_core.Designs
+     isp:NAME    a builtin ISP source, synthesized
+     PATH        an ISP file, synthesized *)
+let resolve_circuit spec =
+  let synth src =
+    (Sc_synth.Synth.gates (Sc_core.Designs.parse src)).Sc_synth.Synth.circuit
+  in
+  match String.index_opt spec ':' with
+  | Some i when String.sub spec 0 i = "hand" -> (
+    match String.sub spec (i + 1) (String.length spec - i - 1) with
+    | "counter" -> Ok (Sc_core.Designs.hand_counter ())
+    | "traffic" -> Ok (Sc_core.Designs.hand_traffic ())
+    | "alu" -> Ok (Sc_core.Designs.hand_alu ())
+    | "pdp8" -> Ok (Sc_core.Designs.hand_pdp8 ())
+    | "pdp8_dp" -> Ok (Sc_core.Designs.hand_pdp8_dp ())
+    | n -> Error ("unknown hand design " ^ n))
+  | Some i when String.sub spec 0 i = "isp" -> (
+    match String.sub spec (i + 1) (String.length spec - i - 1) with
+    | "counter" -> Ok (synth Sc_core.Designs.counter_src)
+    | "traffic" -> Ok (synth Sc_core.Designs.traffic_src)
+    | "alu" -> Ok (synth Sc_core.Designs.alu_src)
+    | "gray" -> Ok (synth Sc_core.Designs.gray_src)
+    | "seqdet" -> Ok (synth Sc_core.Designs.seqdet_src)
+    | "pdp8" -> Ok (synth Sc_core.Designs.pdp8_src)
+    | "pdp8_dp" -> Ok (synth Sc_core.Designs.pdp8_dp_src)
+    | n -> Error ("unknown builtin design " ^ n))
+  | _ -> (
+    if not (Sys.file_exists spec) then Error ("no such file: " ^ spec)
+    else
+      match Sc_rtl.Parser.parse (read_file spec) with
+      | Error e -> Error (spec ^ ": " ^ e)
+      | Ok design -> (
+        match Sc_synth.Synth.gates design with
+        | r -> Ok r.Sc_synth.Synth.circuit
+        | exception Invalid_argument e -> Error (spec ^ ": " ^ e)))
+
+let equiv_cmd =
+  let spec_arg idx name =
+    Arg.(
+      required
+      & pos idx (some string) None
+      & info [] ~docv:name
+          ~doc:
+            "Circuit: $(b,hand:)NAME (hand baseline), $(b,isp:)NAME \
+             (builtin ISP source, synthesized) or an ISP file path.")
+  in
+  let k_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "k" ] ~docv:"K"
+          ~doc:"Unrolling depth for sequential circuits (default 8).")
+  in
+  let mutate_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "mutate" ] ~docv:"I"
+          ~doc:"Flip gate $(docv) of the second circuit before checking \
+                (fault-injection demo).")
+  in
+  let order_arg =
+    Arg.(
+      value
+      & opt (enum [ ("decl", Sc_equiv.Miter.Declaration); ("dfs", Sc_equiv.Miter.Fanin_dfs) ])
+          Sc_equiv.Miter.Fanin_dfs
+      & info [ "order" ] ~docv:"ORDER"
+          ~doc:"BDD variable order: $(b,decl) or $(b,dfs) (default).")
+  in
+  let run a_spec b_spec k mutate order =
+    match (resolve_circuit a_spec, resolve_circuit b_spec) with
+    | Error e, _ | _, Error e ->
+      Printf.eprintf "error: %s\n" e;
+      2
+    | Ok a, Ok b -> (
+      match
+        let b =
+          match mutate with
+          | None -> b
+          | Some i -> Sc_equiv.Checker.mutate b i
+        in
+        let man = Sc_equiv.Bdd.create () in
+        (man, Sc_equiv.Checker.check ~man ~order ~k a b, b)
+      with
+      | exception Invalid_argument e ->
+        Printf.eprintf "error: %s\n" e;
+        2
+      | exception Sc_equiv.Miter.Mismatch e ->
+        Printf.eprintf "port mismatch: %s\n" e;
+        2
+      | man, Sc_equiv.Checker.Equivalent, _ ->
+        Printf.printf "equivalent (%d BDD nodes)\n"
+          (Sc_equiv.Bdd.node_count man);
+        0
+      | _, (Sc_equiv.Checker.Not_equivalent cex as v), b ->
+        Format.printf "@[<v>%a@]@." Sc_equiv.Checker.pp_verdict v;
+        let confirmed = Sc_equiv.Checker.replay a b cex in
+        Printf.printf "replay through the event-driven simulator: %s\n"
+          (if confirmed then "confirmed" else "not reproduced (X state)");
+        1)
+  in
+  Cmd.v
+    (Cmd.info "equiv"
+       ~doc:
+         "Prove two circuits equivalent with the BDD engine (bounded \
+          unrolling when registers are present), or print a concrete \
+          counterexample.")
+    Term.(
+      const run $ spec_arg 0 "A" $ spec_arg 1 "B" $ k_arg $ mutate_arg
+      $ order_arg)
+
 let () =
   let doc = "the silicon compiler: textual descriptions to layout data" in
   exit
     (Cmd.eval'
        (Cmd.group
           (Cmd.info "scc" ~version:"1.0" ~doc)
-          [ layout_cmd; behavior_cmd; drc_cmd; stats_cmd; sim_cmd; extract_cmd; svg_cmd ]))
+          [ layout_cmd; behavior_cmd; drc_cmd; stats_cmd; sim_cmd; extract_cmd
+          ; svg_cmd; equiv_cmd
+          ]))

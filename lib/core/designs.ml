@@ -170,6 +170,37 @@ behavior
 end
 |}
 
+let pdp8_dp_src =
+  {|
+-- the PDP-8 datapath alone: scratch read bus, shared adder with its
+-- operand selection, and the zero flag; register-free so it can be
+-- equivalence-checked combinationally against the hand sub-blocks
+module pdp8_dp;
+inputs inst[8], ac[8], m0[8], m1[8], m2[8], m3[8];
+outputs mem[8], sum[8], sum_zero[1];
+wires op[3], membus[8], adda[8], addb[8], s[8];
+behavior
+  op := inst >> 5;
+  decode (inst >> 3) & 3
+    0: membus := m0;
+    1: membus := m1;
+    2: membus := m2;
+    3: membus := m3;
+  end
+  mem := membus;
+  adda := ac;
+  addb := 1;
+  if op == 1 then addb := membus; end
+  if op == 2 then adda := membus; end
+  if op == 7 then
+    if inst[1] == 1 then adda := ~ac; end
+  end
+  s := adda + addb;
+  sum := s;
+  sum_zero := s == 0;
+end
+|}
+
 let parse src =
   match Sc_rtl.Parser.parse src with
   | Ok d -> d
@@ -348,6 +379,38 @@ let hand_pdp8 () =
   Array.iteri (fun i d -> Builder.gate_into b Gate.Dff [| d |] pc.(i)) pc_next;
   Builder.output b "pc_out" pc;
   Builder.output b "ac_out" ac;
+  Builder.finish b
+
+(* The hand machine's shared sub-blocks, standalone: same read bus,
+   operand selection, adder and zero flag as hand_pdp8 above, with the
+   registers replaced by input ports.  Port-compatible with the
+   synthesized pdp8_dp_src so the two can be mitered (E9). *)
+let hand_pdp8_dp () =
+  let b = Builder.create "pdp8_dp_hand" in
+  let inst = Builder.input b "inst" 8 in
+  let ac = Builder.input b "ac" 8 in
+  let m = Array.init 4 (fun k -> Builder.input b (Printf.sprintf "m%d" k) 8) in
+  let i5 = inst.(5) and i6 = inst.(6) and i7 = inst.(7) in
+  let n5 = Builder.not_ b i5 and n6 = Builder.not_ b i6 and n7 = Builder.not_ b i7 in
+  let op_tad = Builder.and_reduce b [ n7; n6; i5 ] in
+  let op_isz = Builder.and_reduce b [ n7; i6; n5 ] in
+  let op_opr = Builder.and_reduce b [ i7; i6; i5 ] in
+  let mem =
+    Array.init 8 (fun k ->
+        let low = Builder.mux2 b ~sel:inst.(3) m.(0).(k) m.(1).(k) in
+        let high = Builder.mux2 b ~sel:inst.(3) m.(2).(k) m.(3).(k) in
+        Builder.mux2 b ~sel:inst.(4) low high)
+  in
+  let cma = Builder.and2 b op_opr inst.(1) in
+  let ac_or_not = Array.map (fun n -> Builder.xor2 b n cma) ac in
+  let add_a = Builder.mux_vec b ~sel:op_isz ac_or_not mem in
+  let one = Array.init 8 (fun i -> if i = 0 then Builder.const1 else Builder.const0) in
+  let add_b = Builder.mux_vec b ~sel:op_tad one mem in
+  let sum, _ = Builder.adder b add_a add_b in
+  let sum_zero = Builder.not_ b (Builder.or_reduce b (Array.to_list sum)) in
+  Builder.output b "mem" mem;
+  Builder.output b "sum" sum;
+  Builder.output b "sum_zero" [| sum_zero |];
   Builder.finish b
 
 (* --- stimulus --- *)

@@ -32,6 +32,13 @@ val seqdet_src : string
     scratch-word address, 2..0 OPR micro-op field / JMP target low bits. *)
 val pdp8_src : string
 
+(** The PDP-8's combinational datapath alone — the scratch-word read
+    bus, the shared adder with its operand selection, and the zero flag
+    — exposed as a register-free module so the synthesized datapath can
+    be equivalence-checked against the hand netlist's shared sub-blocks
+    ({!hand_pdp8_dp}, E9). *)
+val pdp8_dp_src : string
+
 (** Parsed designs (panics on internal parse error — these are fixtures). *)
 val parse : string -> Sc_rtl.Ast.design
 
@@ -44,6 +51,11 @@ val hand_traffic : unit -> Circuit.t
 val hand_alu : unit -> Circuit.t
 
 val hand_pdp8 : unit -> Circuit.t
+
+(** The hand PDP-8's shared sub-blocks (read bus, shared adder, zero
+    flag) as a standalone combinational circuit, port-compatible with
+    the synthesized {!pdp8_dp_src}. *)
+val hand_pdp8_dp : unit -> Circuit.t
 
 (** Per-design stimulus generators for verification, cycle -> inputs. *)
 

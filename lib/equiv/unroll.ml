@@ -1,0 +1,66 @@
+open Sc_netlist
+
+let frame_port name f = Printf.sprintf "%s@%d" name f
+
+let split_port name =
+  match String.rindex_opt name '@' with
+  | None -> (name, 0)
+  | Some i -> (
+    let base = String.sub name 0 i in
+    let suffix = String.sub name (i + 1) (String.length name - i - 1) in
+    match int_of_string_opt suffix with
+    | Some f -> (base, f)
+    | None -> (name, 0))
+
+let frames ~k c =
+  if k < 1 then invalid_arg "Unroll.frames: k must be >= 1";
+  let f, topo = Circuit.comb_topo c in
+  let ffs =
+    List.filter
+      (fun (g : Circuit.gate_inst) -> Gate.is_sequential g.kind)
+      f.Circuit.gates
+  in
+  let b = Builder.create (Printf.sprintf "%s@%dframes" f.Circuit.cname k) in
+  let prev = ref [||] in
+  for frame = 0 to k - 1 do
+    let map = Array.make f.Circuit.net_count (-1) in
+    map.(Circuit.false_net) <- Builder.const0;
+    map.(Circuit.true_net) <- Builder.const1;
+    (* flip-flop outputs: zero at power-up, else last frame's sampled value *)
+    List.iter
+      (fun (g : Circuit.gate_inst) ->
+        map.(g.out) <-
+          (if frame = 0 then Builder.const0
+           else
+             let pm = !prev in
+             match g.kind with
+             | Gate.Dff -> pm.(g.ins.(0))
+             | Gate.Dffe ->
+               Builder.mux2 b ~sel:pm.(g.ins.(1)) pm.(g.out) pm.(g.ins.(0))
+             | _ -> assert false))
+      ffs;
+    List.iter
+      (fun (p : Circuit.port) ->
+        if p.dir = Circuit.In then begin
+          let nets =
+            Builder.input b (frame_port p.port_name frame) (Array.length p.bits)
+          in
+          Array.iteri (fun i bit -> map.(bit) <- nets.(i)) p.bits
+        end)
+      f.Circuit.ports;
+    List.iter
+      (fun (g : Circuit.gate_inst) ->
+        let ins = Array.map (fun n -> map.(n)) g.ins in
+        Array.iter (fun n -> assert (n >= 0)) ins;
+        map.(g.out) <- Builder.gate b g.kind ins)
+      topo;
+    List.iter
+      (fun (p : Circuit.port) ->
+        if p.dir = Circuit.Out then
+          Builder.output b
+            (frame_port p.port_name frame)
+            (Array.map (fun n -> map.(n)) p.bits))
+      f.Circuit.ports;
+    prev := map
+  done;
+  Builder.finish b

@@ -210,6 +210,54 @@ let has_combinational_cycle c =
   let rec any n = n < f.net_count && (dfs n || any (n + 1)) in
   any 0
 
+let comb_topo c =
+  let f = flatten c in
+  let comb = List.filter (fun g -> not (Gate.is_sequential g.kind)) f.gates in
+  (* Kahn's algorithm over nets: a gate is ready when all its input nets
+     have settled; nets not driven by a combinational gate are sources *)
+  let by_input = Array.make f.net_count [] in
+  let pending = Array.of_list (List.map (fun g -> Array.length g.ins) comb) in
+  List.iteri
+    (fun idx g ->
+      Array.iter (fun n -> by_input.(n) <- idx :: by_input.(n)) g.ins)
+    comb;
+  let comb_arr = Array.of_list comb in
+  let comb_driven = Array.make f.net_count false in
+  List.iter (fun g -> comb_driven.(g.out) <- true) comb;
+  let queue = Queue.create () in
+  for n = 0 to f.net_count - 1 do
+    if not comb_driven.(n) then Queue.add n queue
+  done;
+  let order = ref [] in
+  let emitted = ref 0 in
+  Array.iteri
+    (fun idx g ->
+      if Array.length g.ins = 0 then begin
+        (* constants: no trigger, ready immediately *)
+        pending.(idx) <- -1;
+        incr emitted;
+        order := comb_arr.(idx) :: !order;
+        Queue.add g.out queue
+      end)
+    comb_arr;
+  while not (Queue.is_empty queue) do
+    let n = Queue.pop queue in
+    List.iter
+      (fun idx ->
+        if pending.(idx) > 0 then begin
+          pending.(idx) <- pending.(idx) - 1;
+          if pending.(idx) = 0 then begin
+            incr emitted;
+            order := comb_arr.(idx) :: !order;
+            Queue.add comb_arr.(idx).out queue
+          end
+        end)
+      by_input.(n)
+  done;
+  if !emitted <> Array.length comb_arr then
+    invalid_arg ("Circuit.comb_topo: combinational cycle in " ^ f.cname);
+  (f, List.rev !order)
+
 type stats =
   { gate_total : int
   ; by_kind : (Gate.kind * int) list

@@ -65,6 +65,14 @@ val check : t -> string list
     flip-flops are not cycles). *)
 val has_combinational_cycle : t -> bool
 
+(** [comb_topo c] flattens [c] and returns the flattened circuit together
+    with its combinational gates in topological (fanin-before-fanout)
+    order — the evaluation order used by symbolic analyses such as
+    {!Sc_equiv} and by unrolling.  Sequential gates are omitted from the
+    returned list (their outputs are sources).
+    @raise Invalid_argument on a combinational cycle. *)
+val comb_topo : t -> t * gate_inst list
+
 type stats =
   { gate_total : int
   ; by_kind : (Gate.kind * int) list

@@ -93,6 +93,13 @@ let set_input_int t name v =
   set_input t name
     (Array.init w (fun i -> Value.of_bool (v land (1 lsl i) <> 0)))
 
+let force_registers t v =
+  Array.iter
+    (fun g ->
+      if Gate.is_sequential g.Circuit.kind then set_net t g.Circuit.out v)
+    t.gates;
+  settle t
+
 let step t =
   (* sample all flip-flop inputs simultaneously, then update outputs *)
   let updates = ref [] in

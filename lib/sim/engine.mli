@@ -27,6 +27,12 @@ val set_input : t -> string -> Value.t array -> unit
     of [v]. *)
 val set_input_int : t -> string -> int -> unit
 
+(** [force_registers t v] drives every flip-flop output to [v] and lets
+    the logic settle — a power-on-reset jig.  [Sc_equiv] counterexamples
+    are stated from the all-zero state; forcing [V0] before replay makes
+    the engine reproduce them exactly. *)
+val force_registers : t -> Value.t -> unit
+
 (** One clock edge: flip-flops load, then logic settles. *)
 val step : t -> unit
 

@@ -159,7 +159,7 @@ and compile_stmt design b read_env env = function
         merge_env design b read_env hit env_case acc)
       base cases
 
-let gates ?(optimize = true) design =
+let gates ?(optimize = true) ?(selfcheck = false) design =
   (match Sc_rtl.Check.check design with
   | [] -> ()
   | e :: _ -> invalid_arg ("Synth.gates: " ^ e));
@@ -196,7 +196,18 @@ let gates ?(optimize = true) design =
     (fun (d : Ast.decl) -> Builder.output b d.dname (SMap.find d.dname final))
     design.Ast.outputs;
   let circuit = Builder.finish b in
+  let raw = circuit in
   let circuit = if optimize then Optimize.simplify circuit else circuit in
+  if selfcheck && optimize then begin
+    (* certify the optimizer preserved the synthesized function — a
+       combinational proof, or a bounded one when registers are present *)
+    match Sc_equiv.Checker.check ~k:4 raw circuit with
+    | Sc_equiv.Checker.Equivalent -> ()
+    | Sc_equiv.Checker.Not_equivalent _ as v ->
+      failwith
+        (Format.asprintf "Synth.gates: self-check failed for %s: %a"
+           design.Ast.name Sc_equiv.Checker.pp_verdict v)
+  end;
   { circuit
   ; stats = Circuit.stats circuit
   ; cell_area = Sc_stdcell.Library.circuit_cell_area circuit

@@ -29,11 +29,15 @@ type result =
   ; critical_path : int  (** tau units *)
   }
 
-(** [gates ?optimize design] — [optimize] (default true) runs
+(** [gates ?optimize ?selfcheck design] — [optimize] (default true) runs
     {!Sc_netlist.Optimize.simplify} on the result (constant folding, CSE,
-    dead-gate removal); the E2 ablation toggles it.
+    dead-gate removal); the E2 ablation toggles it.  [selfcheck] (default
+    false) formally equivalence-checks the optimized circuit against the
+    raw translation with {!Sc_equiv.Checker.check} (bounded to 4 cycles
+    when registers are present) and raises [Failure] on any divergence —
+    the compiler certifying its own optimizer.
     @raise Invalid_argument when the design fails {!Sc_rtl.Check.check}. *)
-val gates : ?optimize:bool -> Sc_rtl.Ast.design -> result
+val gates : ?optimize:bool -> ?selfcheck:bool -> Sc_rtl.Ast.design -> result
 
 val max_bits : int
 

@@ -173,6 +173,29 @@ let test_cycle_raises_in_timing () =
        false
      with Timing.Combinational_cycle -> true)
 
+let test_cycle_raises_in_arrival_times () =
+  (* a cycle threaded through two gate kinds, with a duplicated input net
+     on the Or2 — the per-occurrence pending counts must not mask it *)
+  let b = Builder.create "cyc3" in
+  let a = (Builder.input b "a" 1).(0) in
+  let n1 = Builder.fresh b in
+  let n2 = Builder.fresh b in
+  Builder.gate_into b Gate.And2 [| a; n2 |] n1;
+  Builder.gate_into b Gate.Or2 [| n1; n1 |] n2;
+  Builder.output b "y" [| n2 |];
+  let c = Builder.finish b in
+  check_bool "arrival_times raises" true
+    (try
+       ignore (Timing.arrival_times c);
+       false
+     with Timing.Combinational_cycle -> true);
+  (* the equivalence checker's topological sort reports it too *)
+  check_bool "comb_topo raises" true
+    (try
+       ignore (Circuit.comb_topo c);
+       false
+     with Invalid_argument _ -> true)
+
 let prop_gate_eval_matches_kind =
   let gen =
     QCheck.Gen.(
@@ -305,6 +328,8 @@ let suite =
   ; Alcotest.test_case "critical path through hierarchy" `Quick test_critical_path_through_hierarchy
   ; Alcotest.test_case "dff cuts timing path" `Quick test_dff_cuts_path
   ; Alcotest.test_case "timing raises on cycle" `Quick test_cycle_raises_in_timing
+  ; Alcotest.test_case "arrival times raise on cycle" `Quick
+      test_cycle_raises_in_arrival_times
   ; prop_gate_eval_matches_kind
   ; Alcotest.test_case "optimize folds constants" `Quick test_optimize_folds_constants
   ; Alcotest.test_case "optimize CSE" `Quick test_optimize_cse
