@@ -8,7 +8,10 @@
 
    Run everything:        dune exec bench/main.exe
    Run one experiment:    dune exec bench/main.exe -- e3
-   Options:               e1 e2 e3 e4 e5 e6 e7 e8 e9 ablate micro all *)
+   Options:               e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 profile ablate
+                          micro all
+   (e10 and profile are synonyms: the stage-cost profile of the full
+   behavioral path, regenerating the EXPERIMENTS.md E10 table.) *)
 
 let section title claim =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=');
@@ -534,6 +537,89 @@ let e9 () =
      BDD engine upgrades it to proof wherever the netlist is in reach\n"
 
 (* ------------------------------------------------------------------ *)
+(* E10: where the time goes — the obs layer profiles every stage       *)
+(* ------------------------------------------------------------------ *)
+
+let profile () =
+  section "E10: where the time goes (stage-level spans, lib/obs)"
+    "Meyer's CVC lesson: fast compilers are built by measuring each \
+     flow-graph stage — every scc run can now answer where the time and \
+     area went";
+  (* Bechamel's CLOCK_MONOTONIC stub replaces the default wall clock *)
+  Sc_obs.Obs.set_clock (fun () ->
+      Int64.to_float (Monotonic_clock.now ()) /. 1e9);
+  let designs =
+    [ ("counter", Sc_core.Designs.counter_src)
+    ; ("traffic", Sc_core.Designs.traffic_src)
+    ; ("alu4", Sc_core.Designs.alu_src)
+    ; ("pdp8", Sc_core.Designs.pdp8_src)
+    ]
+  in
+  let runs =
+    List.map
+      (fun (name, src) ->
+        Sc_obs.Obs.reset ();
+        Sc_obs.Obs.enable ();
+        (match Sc_core.Compiler.compile_behavior src with
+        | Ok _ -> ()
+        | Error e -> failwith ("profile: " ^ name ^ ": " ^ e));
+        Sc_obs.Obs.disable ();
+        (name, Sc_obs.Obs.stage_table (), Sc_obs.Obs.totals ()))
+      designs
+  in
+  Printf.printf "stage cost, ms (one full behavioral compilation each):\n\n";
+  Printf.printf "%-12s" "stage";
+  List.iter (fun (name, _, _) -> Printf.printf " %9s" name) runs;
+  Printf.printf "\n";
+  let row label path =
+    Printf.printf "%-12s" label;
+    List.iter
+      (fun (_, table, _) ->
+        match
+          List.find_opt (fun (r : Sc_obs.Obs.row) -> r.rpath = path) table
+        with
+        | Some r -> Printf.printf " %9.2f" r.total_ms
+        | None -> Printf.printf " %9s" "-")
+      runs;
+    Printf.printf "\n"
+  in
+  List.iter
+    (fun stage -> row stage stage)
+    [ "parse"; "compile"; "optimize"; "place"; "route"; "drc"; "emit" ];
+  Printf.printf "%-12s" "total";
+  List.iter
+    (fun (_, table, _) ->
+      let total =
+        List.fold_left
+          (fun a (r : Sc_obs.Obs.row) ->
+            if r.rdepth = 0 then a +. r.total_ms else a)
+          0.0 table
+      in
+      Printf.printf " %9.2f" total)
+    runs;
+  Printf.printf "\n\ncounters (gauges from the same runs):\n\n";
+  Printf.printf "%-16s" "counter";
+  List.iter (fun (name, _, _) -> Printf.printf " %9s" name) runs;
+  Printf.printf "\n";
+  List.iter
+    (fun key ->
+      Printf.printf "%-16s" key;
+      List.iter
+        (fun (_, _, totals) ->
+          match List.assoc_opt key totals with
+          | Some v -> Printf.printf " %9d" v
+          | None -> Printf.printf " %9s" "-")
+        runs;
+      Printf.printf "\n")
+    [ "gates"; "flipflops"; "transistors"; "route.channels"; "route.tracks"
+    ; "route.height"; "drc.violations"; "cif.commands"; "cif.bytes"
+    ];
+  Printf.printf
+    "\nthe drc and emit stages dominate (geometry volume), synthesis is \
+     cheap; `scc isp DESIGN --stats --trace out.json` reproduces any row \
+     with a loadable Chrome trace\n"
+
+(* ------------------------------------------------------------------ *)
 (* Ablations                                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -689,6 +775,10 @@ let micro () =
           (Staged.stage (fun () -> Sc_route.Channel.route chan_spec))
       ; Test.make ~name:"layout.flatten(stdcell row)"
           (Staged.stage (fun () -> Sc_layout.Flatten.run cell_row))
+      ; (* the observability bargain: a span must cost one branch when
+           disabled, so instrumented hot paths stay at their old numbers *)
+        Test.make ~name:"obs.span(disabled)"
+          (Staged.stage (fun () -> Sc_obs.Obs.span "micro" (fun () -> 42)))
       ]
   in
   let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.25) () in
@@ -720,6 +810,7 @@ let () =
     | "e7" -> e7 ()
     | "e8" -> e8 ()
     | "e9" -> e9 ()
+    | "e10" | "profile" -> profile ()
     | "ablate" -> ablate ()
     | "micro" -> micro ()
     | other -> Printf.eprintf "unknown experiment %S\n" other
@@ -727,5 +818,7 @@ let () =
   match what with
   | "all" ->
     List.iter run
-      [ "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e7"; "e8"; "e9"; "ablate"; "micro" ]
+      [ "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e7"; "e8"; "e9"; "e10"
+      ; "ablate"; "micro"
+      ]
   | w -> run w

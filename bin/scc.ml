@@ -3,6 +3,7 @@
    Subcommands:
      scc layout FILE    compile a layout-language program to CIF
      scc behavior FILE  compile an ISP behavioral description to CIF
+     scc isp DESIGN     compile a builtin design (or ISP file), with profiling
      scc drc FILE       design-rule-check a CIF file
      scc stats FILE     report area/device statistics of a CIF file
      scc sim FILE       interpret an ISP description with a trivial stimulus
@@ -14,7 +15,11 @@
    stage: behavior equivalence-checks the optimizer's output against the
    raw translation, layout equivalence-checks the primitive cell
    artwork (extracted and exhaustively tabulated at switch level)
-   against its gate specification. *)
+   against its gate specification.
+
+   layout/behavior/isp take --stats (per-stage time/counter table from
+   the Sc_obs spans) and --trace FILE (Chrome trace-event JSON for
+   chrome://tracing or ui.perfetto.dev). *)
 
 open Cmdliner
 
@@ -71,6 +76,51 @@ let verify_arg =
     & info [ "verify" ]
         ~doc:"Formally certify the compilation stage with the BDD engine.")
 
+(* --- observability: --stats / --trace --- *)
+
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:"Print a per-stage timing and counter table after compiling.")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write Chrome trace-event JSON to $(docv) (open in \
+           chrome://tracing or ui.perfetto.dev).")
+
+(* [instrumented ~stats ~trace ~table k] runs [k] with the span recorder
+   on when either sink was requested; [table] is where the summary goes
+   (stdout for isp, stderr for the CIF-printing commands). *)
+let instrumented ~stats ~trace ~table k =
+  let want = stats || trace <> None in
+  if want then begin
+    Sc_obs.Obs.reset ();
+    Sc_obs.Obs.enable ()
+  end;
+  let finish () =
+    if want then begin
+      if stats then Format.fprintf table "%a@?" Sc_obs.Obs.pp_summary ();
+      (match trace with
+      | Some path ->
+        Sc_obs.Obs.write_trace path;
+        Printf.eprintf "trace written to %s\n%!" path
+      | None -> ());
+      Sc_obs.Obs.disable ()
+    end
+  in
+  match k () with
+  | code ->
+    finish ();
+    code
+  | exception e ->
+    finish ();
+    raise e
+
 (* certify the primitive cell library: extract each cell's masks,
    tabulate the transistor netlist at switch level, and prove the result
    equal to the gate the library claims the cell implements *)
@@ -103,19 +153,22 @@ let verify_cell_library () =
     ]
 
 let layout_cmd =
-  let run file entry args output verify =
-    match Sc_core.Compiler.compile_layout ?entry ~args (read_file file) with
-    | Error e ->
-      Printf.eprintf "error: %s\n" e;
-      1
-    | Ok c ->
-      report_compiled c;
-      write_out output c.Sc_core.Compiler.cif;
-      if verify then (if verify_cell_library () = 0 then 0 else 1) else 0
+  let run file entry args output verify stats trace =
+    instrumented ~stats ~trace ~table:Format.err_formatter (fun () ->
+        match Sc_core.Compiler.compile_layout ?entry ~args (read_file file) with
+        | Error e ->
+          Printf.eprintf "error: %s\n" e;
+          1
+        | Ok c ->
+          report_compiled c;
+          write_out output c.Sc_core.Compiler.cif;
+          if verify then (if verify_cell_library () = 0 then 0 else 1) else 0)
   in
   Cmd.v
     (Cmd.info "layout" ~doc:"Compile a layout-language program to CIF.")
-    Term.(const run $ file_arg $ entry_arg $ args_arg $ output_arg $ verify_arg)
+    Term.(
+      const run $ file_arg $ entry_arg $ args_arg $ output_arg $ verify_arg
+      $ stats_arg $ trace_arg)
 
 (* --- behavior --- *)
 
@@ -127,42 +180,106 @@ let style_arg =
     & info [ "s"; "style" ] ~docv:"STYLE"
         ~doc:"Control style: $(b,gates) (random logic) or $(b,pla).")
 
+let behavior_run src style output verify =
+  match Sc_core.Compiler.compile_behavior ~style src with
+  | Error e ->
+    Printf.eprintf "error: %s\n" e;
+    1
+  | Ok (c, circuit) ->
+    let s = Sc_netlist.Circuit.stats circuit in
+    Printf.eprintf "netlist: %d gates, %d flip-flops\n%!"
+      s.Sc_netlist.Circuit.gate_total s.Sc_netlist.Circuit.flipflops;
+    report_compiled c;
+    (match output with
+    | Some _ -> write_out output c.Sc_core.Compiler.cif
+    | None -> print_string c.Sc_core.Compiler.cif);
+    if verify then begin
+      (* the self-check re-synthesizes and proves the optimized netlist
+         equivalent to the raw translation *)
+      match Sc_rtl.Parser.parse src with
+      | Error e ->
+        Printf.eprintf "verify: parse error: %s\n" e;
+        1
+      | Ok design -> (
+        match Sc_synth.Synth.gates ~selfcheck:true design with
+        | _ ->
+          Printf.eprintf
+            "verify: optimized netlist proven equivalent to raw \
+             translation\n%!";
+          0
+        | exception Failure msg ->
+          Printf.eprintf "verify: %s\n" msg;
+          1)
+    end
+    else 0
+
 let behavior_cmd =
-  let run file style output verify =
-    let src = read_file file in
-    match Sc_core.Compiler.compile_behavior ~style src with
-    | Error e ->
-      Printf.eprintf "error: %s\n" e;
-      1
-    | Ok (c, circuit) ->
-      let s = Sc_netlist.Circuit.stats circuit in
-      Printf.eprintf "netlist: %d gates, %d flip-flops\n%!"
-        s.Sc_netlist.Circuit.gate_total s.Sc_netlist.Circuit.flipflops;
-      report_compiled c;
-      write_out output c.Sc_core.Compiler.cif;
-      if verify then begin
-        (* the self-check re-synthesizes and proves the optimized netlist
-           equivalent to the raw translation *)
-        match Sc_rtl.Parser.parse src with
-        | Error e ->
-          Printf.eprintf "verify: parse error: %s\n" e;
-          1
-        | Ok design -> (
-          match Sc_synth.Synth.gates ~selfcheck:true design with
-          | _ ->
-            Printf.eprintf
-              "verify: optimized netlist proven equivalent to raw \
-               translation\n%!";
-            0
-          | exception Failure msg ->
-            Printf.eprintf "verify: %s\n" msg;
-            1)
-      end
-      else 0
+  let run file style output verify stats trace =
+    instrumented ~stats ~trace ~table:Format.err_formatter (fun () ->
+        behavior_run (read_file file) style output verify)
   in
   Cmd.v
     (Cmd.info "behavior" ~doc:"Compile an ISP behavioral description to CIF.")
-    Term.(const run $ file_arg $ style_arg $ output_arg $ verify_arg)
+    Term.(
+      const run $ file_arg $ style_arg $ output_arg $ verify_arg $ stats_arg
+      $ trace_arg)
+
+(* --- isp: builtin designs (or files) through the full behavioral path,
+   built for profiling: the stage table goes to stdout, CIF is written
+   only on -o *)
+
+let isp_cmd =
+  let design_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"DESIGN"
+          ~doc:
+            "A builtin design ($(b,counter), $(b,traffic), $(b,alu4), \
+             $(b,gray), $(b,seqdet), $(b,pdp8), $(b,pdp8_dp)) or an ISP \
+             file path.")
+  in
+  let run design style output stats trace =
+    let src =
+      match design with
+      | "counter" -> Some Sc_core.Designs.counter_src
+      | "traffic" -> Some Sc_core.Designs.traffic_src
+      | "alu" | "alu4" -> Some Sc_core.Designs.alu_src
+      | "gray" -> Some Sc_core.Designs.gray_src
+      | "seqdet" -> Some Sc_core.Designs.seqdet_src
+      | "pdp8" -> Some Sc_core.Designs.pdp8_src
+      | "pdp8_dp" -> Some Sc_core.Designs.pdp8_dp_src
+      | path when Sys.file_exists path -> Some (read_file path)
+      | _ -> None
+    in
+    match src with
+    | None ->
+      Printf.eprintf "error: %s is neither a builtin design nor a file\n"
+        design;
+      2
+    | Some src ->
+      instrumented ~stats ~trace ~table:Format.std_formatter (fun () ->
+          match Sc_core.Compiler.compile_behavior ~style src with
+          | Error e ->
+            Printf.eprintf "error: %s\n" e;
+            1
+          | Ok (c, circuit) ->
+            let s = Sc_netlist.Circuit.stats circuit in
+            Printf.eprintf "netlist: %d gates, %d flip-flops\n%!"
+              s.Sc_netlist.Circuit.gate_total s.Sc_netlist.Circuit.flipflops;
+            report_compiled c;
+            (match output with
+            | Some _ -> write_out output c.Sc_core.Compiler.cif
+            | None -> ());
+            0)
+  in
+  Cmd.v
+    (Cmd.info "isp"
+       ~doc:
+         "Compile a builtin ISP design (or file) to layout, reporting \
+          where the time and area go (see --stats/--trace).")
+    Term.(
+      const run $ design_arg $ style_arg $ output_arg $ stats_arg $ trace_arg)
 
 (* --- drc / stats on CIF files --- *)
 
@@ -388,6 +505,6 @@ let () =
     (Cmd.eval'
        (Cmd.group
           (Cmd.info "scc" ~version:"1.0" ~doc)
-          [ layout_cmd; behavior_cmd; drc_cmd; stats_cmd; sim_cmd; extract_cmd
-          ; svg_cmd; equiv_cmd
+          [ layout_cmd; behavior_cmd; isp_cmd; drc_cmd; stats_cmd; sim_cmd
+          ; extract_cmd; svg_cmd; equiv_cmd
           ]))

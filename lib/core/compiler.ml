@@ -1,4 +1,5 @@
 open Sc_layout
+module Obs = Sc_obs.Obs
 
 type behavior_style = Random_logic | Pla_control
 
@@ -10,6 +11,8 @@ type compiled =
   ; transistors : int
   }
 
+(* DRC and CIF emission carry their own "drc" / "emit" spans, so
+   measuring a layout is what populates those rows of the stage table. *)
 let measure layout =
   { layout
   ; cif = Sc_cif.Emit.to_string layout
@@ -21,46 +24,70 @@ let measure layout =
 let to_cif = Sc_cif.Emit.to_string
 
 let compile_layout ?entry ?args src =
-  match Sc_lang.Lang.compile ?entry ?args src with
+  match Obs.span "parse" (fun () -> Sc_lang.Lang.compile ?entry ?args src) with
   | Ok cell -> Ok (measure cell)
   | Error e -> Error (Sc_lang.Lang.error_to_string e)
 
-let layout_of_circuit ~name circuit =
+let place_circuit circuit =
   let problem = Sc_place.Placer.problem_of_circuit circuit in
-  let placement = Sc_place.Placer.ordered problem in
-  Sc_place.Placer.to_layout ~name placement
+  Sc_place.Placer.ordered problem
+
+let layout_of_circuit ~name circuit =
+  let placement, layout =
+    Obs.span "place" (fun () ->
+        let pl = place_circuit circuit in
+        (pl, Sc_place.Placer.to_layout ~name pl))
+  in
+  (* The row channels are left at a fixed pitch in the emitted artwork;
+     routing them is pure measurement (channel heights, track counts),
+     so the route stage only runs when someone is watching. *)
+  if Obs.enabled () then
+    Obs.span "route" (fun () ->
+        match Sc_place.Placer.route_channels placement with
+        | rc ->
+          Obs.count "route.channels"
+            (List.length rc.Sc_place.Placer.channels)
+        | exception _ -> ());
+  layout
 
 let compile_behavior ?(style = Random_logic) src =
-  match Sc_rtl.Parser.parse src with
-  | Error e -> Error ("parse: " ^ e)
+  let parsed =
+    Obs.span "parse" (fun () ->
+        match Sc_rtl.Parser.parse src with
+        | Error e -> Error ("parse: " ^ e)
+        | Ok design -> (
+          match Sc_rtl.Check.check design with
+          | e :: _ -> Error ("check: " ^ e)
+          | [] -> Ok design))
+  in
+  match parsed with
+  | Error e -> Error e
   | Ok design -> (
-    match Sc_rtl.Check.check design with
-    | e :: _ -> Error ("check: " ^ e)
-    | [] -> (
-      match style with
-      | Random_logic ->
-        let r = Sc_synth.Synth.gates design in
+    match style with
+    | Random_logic ->
+      let r = Sc_synth.Synth.gates design in
+      let layout =
+        layout_of_circuit ~name:design.Sc_rtl.Ast.name r.Sc_synth.Synth.circuit
+      in
+      Ok (measure layout, r.Sc_synth.Synth.circuit)
+    | Pla_control -> (
+      match Sc_synth.Synth.pla_fsm design with
+      | r, pla ->
+        (* physical view: the PLA block above a row of state registers *)
+        let state_bits =
+          List.fold_left
+            (fun a (d : Sc_rtl.Ast.decl) -> a + d.width)
+            0 design.Sc_rtl.Ast.regs
+        in
+        let dff = Sc_stdcell.Library.layout_of Sc_netlist.Gate.Dff in
         let layout =
-          layout_of_circuit ~name:design.Sc_rtl.Ast.name r.Sc_synth.Synth.circuit
+          Obs.span "place" (fun () ->
+              if state_bits = 0 then pla.Sc_pla.Generator.layout
+              else
+                Compose.above ~name:design.Sc_rtl.Ast.name ~sep:20
+                  (Compose.row ~name:"state_row"
+                     (List.init state_bits (fun _ -> dff)))
+                  pla.Sc_pla.Generator.layout)
         in
         Ok (measure layout, r.Sc_synth.Synth.circuit)
-      | Pla_control -> (
-        match Sc_synth.Synth.pla_fsm design with
-        | r, pla ->
-          (* physical view: the PLA block above a row of state registers *)
-          let state_bits =
-            List.fold_left
-              (fun a (d : Sc_rtl.Ast.decl) -> a + d.width)
-              0 design.Sc_rtl.Ast.regs
-          in
-          let dff = Sc_stdcell.Library.layout_of Sc_netlist.Gate.Dff in
-          let layout =
-            if state_bits = 0 then pla.Sc_pla.Generator.layout
-            else
-              Compose.above ~name:design.Sc_rtl.Ast.name ~sep:20
-                (Compose.row ~name:"state_row"
-                   (List.init state_bits (fun _ -> dff)))
-                pla.Sc_pla.Generator.layout
-          in
-          Ok (measure layout, r.Sc_synth.Synth.circuit)
-        | exception Invalid_argument msg -> Error msg)))
+      | exception Invalid_argument msg -> Error msg))

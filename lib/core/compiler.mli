@@ -13,8 +13,12 @@
 
 open Sc_layout
 
+(** How the behavioral path realizes control and logic: [Random_logic]
+    (standard-cell gates) or [Pla_control] (FSM extraction to a PLA). *)
 type behavior_style = Random_logic | Pla_control
 
+(** A finished compilation: the layout plus the measurements every
+    front door reports. *)
 type compiled =
   { layout : Cell.t
   ; cif : string
@@ -38,6 +42,7 @@ val compile_behavior :
     used by the behavioral path and experiments). *)
 val layout_of_circuit : name:string -> Sc_netlist.Circuit.t -> Cell.t
 
+(** Emit a cell hierarchy as CIF text ({!Sc_cif.Emit.to_string}). *)
 val to_cif : Cell.t -> string
 
 (** Measure an existing layout the same way the compilers do. *)

@@ -42,14 +42,18 @@ val pdp8_dp_src : string
 (** Parsed designs (panics on internal parse error — these are fixtures). *)
 val parse : string -> Sc_rtl.Ast.design
 
-(** Hand-built structural baselines. *)
+(** {2 Hand-built structural baselines} *)
 
+(** The counter as a hand netlist: ripple increment, reset gating. *)
 val hand_counter : unit -> Circuit.t
 
+(** The traffic controller with hand-minimized next-state equations. *)
 val hand_traffic : unit -> Circuit.t
 
+(** The ALU around one shared adder (the classic structural trick). *)
 val hand_alu : unit -> Circuit.t
 
+(** The full hand PDP-8: shared adder, enable-gated registers, read bus. *)
 val hand_pdp8 : unit -> Circuit.t
 
 (** The hand PDP-8's shared sub-blocks (read bus, shared adder, zero
@@ -57,16 +61,21 @@ val hand_pdp8 : unit -> Circuit.t
     the synthesized {!pdp8_dp_src}. *)
 val hand_pdp8_dp : unit -> Circuit.t
 
-(** Per-design stimulus generators for verification, cycle -> inputs. *)
+(** {2 Per-design stimulus generators for verification, cycle -> inputs} *)
 
+(** Reset on cycle 0, then free-running count with occasional loads. *)
 val counter_stim : int -> (string * int) list
 
+(** Cars arriving in bursts against the timer. *)
 val traffic_stim : int -> (string * int) list
 
+(** Cycles through the opcodes with varying operands. *)
 val alu_stim : int -> (string * int) list
 
+(** Reset, then let the Gray cycle run. *)
 val gray_stim : int -> (string * int) list
 
+(** A bit stream containing (and teasing) the "1011" pattern. *)
 val seqdet_stim : int -> (string * int) list
 
 (** Drives a small program through the PDP-8: reset, arithmetic on the

@@ -151,7 +151,11 @@ let check_flat flat =
     [ (Layer.Contact, Layer.Metal); (Layer.Glass, Layer.Metal) ];
   List.rev !violations
 
-let check cell = check_flat (Flatten.run cell)
+let check cell =
+  Sc_obs.Obs.span "drc" @@ fun () ->
+  let vs = check_flat (Flatten.run cell) in
+  Sc_obs.Obs.count "drc.violations" (List.length vs);
+  vs
 
 let is_clean cell = check cell = []
 

@@ -19,6 +19,7 @@ type t = private int
 (** A node handle.  Handles from different managers must not be mixed.
     Equal handles (of one manager) denote equal functions. *)
 
+(** A fresh manager; [size_hint] pre-sizes the node arena. *)
 val create : ?size_hint:int -> unit -> man
 
 val zero : t
@@ -32,23 +33,31 @@ val var : man -> int -> t
     @raise Invalid_argument when [i < 0]. *)
 
 val not_ : man -> t -> t
+(** Complement (memoized, like all operations below). *)
 
 val and_ : man -> t -> t -> t
+(** Conjunction. *)
 
 val or_ : man -> t -> t -> t
+(** Disjunction. *)
 
 val xor : man -> t -> t -> t
+(** Exclusive or. *)
 
 val xnor : man -> t -> t -> t
+(** Equivalence (complement of {!xor}). *)
 
 val ite : man -> t -> t -> t -> t
 (** [ite m f g h] = if [f] then [g] else [h]. *)
 
 val equal : t -> t -> bool
+(** Function equality — integer equality of handles (hash-consing). *)
 
 val is_true : t -> bool
+(** Is this the {!one} terminal (a tautology)? *)
 
 val is_false : t -> bool
+(** Is this the {!zero} terminal (unsatisfiable)? *)
 
 val node_count : man -> int
 (** Nodes allocated in the manager so far (terminals included). *)

@@ -71,6 +71,7 @@ let cex_of_assignment ~seq ~nframes ~(inputs : Circuit.port list) env
   { frames; output; bit = out_bit; cycle }
 
 let check ?man ?order ?(k = 8) a b =
+  Sc_obs.Obs.span "equiv" @@ fun () ->
   let man = match man with Some m -> m | None -> Bdd.create () in
   let seq = is_sequential a || is_sequential b in
   let a', b' =
@@ -79,7 +80,9 @@ let check ?man ?order ?(k = 8) a b =
   Miter.check_signatures a' b';
   let env = Miter.env_of ?order man a' in
   let oa = Miter.outputs env a' and ob = Miter.outputs env b' in
-  match first_diff man oa ob with
+  let verdict = first_diff man oa ob in
+  Sc_obs.Obs.gauge "bdd.nodes" (Bdd.node_count man);
+  match verdict with
   | None -> Equivalent
   | Some (name, bit, diff) ->
     let assignment = Bdd.sat_one man diff in

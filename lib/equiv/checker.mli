@@ -30,8 +30,10 @@ type verdict =
   | Equivalent
   | Not_equivalent of counterexample
 
+(** Human-readable verdict, counterexample frames included. *)
 val pp_verdict : Format.formatter -> verdict -> unit
 
+(** Does the flattened circuit contain any flip-flop? *)
 val is_sequential : Circuit.t -> bool
 
 (** [check ?man ?order ?k a b] — formal equivalence of [a] and [b] with

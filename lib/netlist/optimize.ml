@@ -3,7 +3,9 @@
    canonical net always has a real driver. *)
 
 let simplify c =
+  Sc_obs.Obs.span "optimize" @@ fun () ->
   let f = Circuit.flatten c in
+  Sc_obs.Obs.count "optimize.gates_in" (List.length f.Circuit.gates);
   let n = f.Circuit.net_count in
   let alias = Array.init n (fun i -> i) in
   let rec find i = if alias.(i) = i then i else find alias.(i) in
@@ -175,5 +177,6 @@ let simplify c =
   let net_names =
     List.map (fun (net, nm) -> (find net, nm)) f.Circuit.net_names
   in
+  Sc_obs.Obs.count "optimize.gates_out" (List.length final_gates);
   Circuit.create ~name:f.Circuit.cname ~ports ~gates:final_gates ~insts:[]
     ~net_count:n ~net_names

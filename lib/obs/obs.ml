@@ -1,0 +1,252 @@
+(* One global recorder per process.  Everything below the [on] check is
+   only reachable when recording, so the disabled cost of a span is one
+   load + branch (plus the closure call the caller already paid for). *)
+
+type event =
+  { path : string
+  ; name : string
+  ; depth : int
+  ; start_us : float
+  ; dur_us : float
+  ; self_us : float
+  ; counters : (string * int) list
+  }
+
+type frame =
+  { fname : string
+  ; fpath : string
+  ; fdepth : int
+  ; fstart : float
+  ; mutable fcounters : (string * int) list  (* reverse insertion order *)
+  ; mutable fchildren : float  (* seconds spent in completed children *)
+  }
+
+let on = ref false
+let clock = ref Unix.gettimeofday
+let epoch = ref 0.0
+let stack : frame list ref = ref []
+let finished : event list ref = ref [] (* reverse completion order *)
+let globals : (string, int) Hashtbl.t = Hashtbl.create 32
+
+let enabled () = !on
+
+let reset () =
+  stack := [];
+  finished := [];
+  Hashtbl.reset globals;
+  epoch := !clock ()
+
+let enable () =
+  if !epoch = 0.0 then epoch := !clock ();
+  on := true
+
+let disable () = on := false
+
+let set_clock f = clock := f
+
+let span name f =
+  if not !on then f ()
+  else begin
+    let parent = match !stack with [] -> None | p :: _ -> Some p in
+    let fpath =
+      match parent with None -> name | Some p -> p.fpath ^ "." ^ name
+    in
+    let fdepth = match parent with None -> 0 | Some p -> p.fdepth + 1 in
+    let fr =
+      { fname = name; fpath; fdepth; fstart = !clock (); fcounters = []
+      ; fchildren = 0.0
+      }
+    in
+    stack := fr :: !stack;
+    let finish () =
+      let dur = !clock () -. fr.fstart in
+      (match !stack with
+      | top :: rest when top == fr -> stack := rest
+      | _ -> ());
+      (match !stack with
+      | p :: _ -> p.fchildren <- p.fchildren +. dur
+      | [] -> ());
+      finished :=
+        { path = fr.fpath
+        ; name = fr.fname
+        ; depth = fr.fdepth
+        ; start_us = (fr.fstart -. !epoch) *. 1e6
+        ; dur_us = dur *. 1e6
+        ; self_us = (dur -. fr.fchildren) *. 1e6
+        ; counters = List.rev fr.fcounters
+        }
+        :: !finished
+    in
+    match f () with
+    | r ->
+      finish ();
+      r
+    | exception e ->
+      finish ();
+      raise e
+  end
+
+let bump_frame fr name v ~add =
+  match List.assoc_opt name fr.fcounters with
+  | Some _ ->
+    fr.fcounters <-
+      List.map
+        (fun (k, x) -> if k = name then (k, if add then x + v else v) else (k, x))
+        fr.fcounters
+  | None -> fr.fcounters <- (name, v) :: fr.fcounters
+
+let bump_global name v ~add =
+  let old = try Hashtbl.find globals name with Not_found -> 0 in
+  Hashtbl.replace globals name (if add then old + v else v)
+
+let count name n =
+  if !on then begin
+    (match !stack with fr :: _ -> bump_frame fr name n ~add:true | [] -> ());
+    bump_global name n ~add:true
+  end
+
+let gauge name v =
+  if !on then begin
+    (match !stack with fr :: _ -> bump_frame fr name v ~add:false | [] -> ());
+    bump_global name v ~add:false
+  end
+
+let events () =
+  List.sort
+    (fun a b -> Float.compare a.start_us b.start_us)
+    (List.rev !finished)
+
+let totals () =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) globals []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* --- per-stage aggregation --- *)
+
+type row =
+  { rpath : string
+  ; rdepth : int
+  ; calls : int
+  ; total_ms : float
+  ; self_ms : float
+  ; rcounters : (string * int) list
+  }
+
+let stage_table () =
+  let acc : (string, row * float) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      let merge (r, first) =
+        ( { r with
+            calls = r.calls + 1
+          ; total_ms = r.total_ms +. (e.dur_us /. 1e3)
+          ; self_ms = r.self_ms +. (e.self_us /. 1e3)
+          ; rcounters =
+              List.fold_left
+                (fun cs (k, v) ->
+                  match List.assoc_opt k cs with
+                  | Some old ->
+                    List.map (fun (k', x) -> if k' = k then (k', old + v) else (k', x)) cs
+                  | None -> cs @ [ (k, v) ])
+                r.rcounters e.counters
+          }
+        , first )
+      in
+      let fresh =
+        ( { rpath = e.path; rdepth = e.depth; calls = 0; total_ms = 0.0
+          ; self_ms = 0.0; rcounters = []
+          }
+        , e.start_us )
+      in
+      Hashtbl.replace acc e.path
+        (merge (try Hashtbl.find acc e.path with Not_found -> fresh)))
+    (events ());
+  Hashtbl.fold (fun _ rf l -> rf :: l) acc []
+  |> List.sort (fun (ra, fa) (rb, fb) ->
+         match Float.compare fa fb with
+         | 0 -> Int.compare ra.rdepth rb.rdepth
+         | c -> c)
+  |> List.map fst
+
+let pp_counters ppf cs =
+  List.iter (fun (k, v) -> Format.fprintf ppf " %s=%d" k v) cs
+
+let pp_summary ppf () =
+  let rows = stage_table () in
+  let wall =
+    List.fold_left
+      (fun a r -> if r.rdepth = 0 then a +. r.total_ms else a)
+      0.0 rows
+  in
+  Format.fprintf ppf "%-28s %6s %9s %9s %6s  %s@."
+    "stage" "calls" "total ms" "self ms" "%" "counters";
+  List.iter
+    (fun r ->
+      let indent = String.make (2 * r.rdepth) ' ' in
+      Format.fprintf ppf "%-28s %6d %9.2f %9.2f %5.1f%% %a@."
+        (indent ^ (match String.rindex_opt r.rpath '.' with
+                  | Some i -> String.sub r.rpath (i + 1) (String.length r.rpath - i - 1)
+                  | None -> r.rpath))
+        r.calls r.total_ms r.self_ms
+        (if wall > 0.0 then 100.0 *. r.total_ms /. wall else 0.0)
+        pp_counters r.rcounters)
+    rows;
+  match totals () with
+  | [] -> ()
+  | ts -> Format.fprintf ppf "counters:%a@." pp_counters ts
+
+(* --- Chrome trace-event export --- *)
+
+let chrome_trace () =
+  let span_events =
+    List.map
+      (fun e ->
+        let base =
+          [ ("name", Json.Str e.path)
+          ; ("cat", Json.Str "scc")
+          ; ("ph", Json.Str "X")
+          ; ("ts", Json.Num e.start_us)
+          ; ("dur", Json.Num e.dur_us)
+          ; ("pid", Json.Num 1.0)
+          ; ("tid", Json.Num 1.0)
+          ]
+        in
+        Json.Obj
+          (match e.counters with
+          | [] -> base
+          | cs ->
+            base
+            @ [ ( "args"
+                , Json.Obj
+                    (List.map (fun (k, v) -> (k, Json.Num (float_of_int v))) cs)
+                )
+              ]))
+      (events ())
+  in
+  let t_end =
+    List.fold_left
+      (fun a e -> Float.max a (e.start_us +. e.dur_us))
+      0.0 (events ())
+  in
+  let counter_events =
+    List.map
+      (fun (k, v) ->
+        Json.Obj
+          [ ("name", Json.Str k)
+          ; ("ph", Json.Str "C")
+          ; ("ts", Json.Num t_end)
+          ; ("pid", Json.Num 1.0)
+          ; ("args", Json.Obj [ (k, Json.Num (float_of_int v)) ])
+          ])
+      (totals ())
+  in
+  Json.to_string
+    (Json.Obj
+       [ ("traceEvents", Json.Arr (span_events @ counter_events))
+       ; ("displayTimeUnit", Json.Str "ms")
+       ])
+
+let write_trace path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (chrome_trace ()))

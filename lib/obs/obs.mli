@@ -1,0 +1,110 @@
+(** Stage-level observability for the compiler: hierarchical spans,
+    counters and gauges, a per-stage summary table, and Chrome
+    trace-event export.
+
+    Every compilation stage wraps its work in {!span} and reports sizes
+    through {!count}/{!gauge} ("gates", "bdd.nodes", "cif.rects",
+    "route.tracks", ...).  Instrumentation is free when disabled: each
+    entry point is a single branch on one flag, so the hot paths the
+    Bechamel micro-benchmarks measure are unaffected until someone asks
+    for data (`scc ... --stats --trace out.json`, or
+    `bench/main.exe -- profile`).
+
+    The module is deliberately global (one recorder per process): the
+    compiler's stages live in many libraries and threading a handle
+    through every signature would make the instrumentation the loudest
+    thing in the code.  Spans nest by dynamic scope: a span opened while
+    another is running becomes its child, and its path is the
+    dot-joined ancestry (["place"] inside nothing, ["route.channel"]
+    for a channel routed during the route stage).
+
+    Two sinks:
+
+    - {!pp_summary} / {!stage_table}: one row per distinct span path —
+      call count, total and self milliseconds, share of the run, and
+      the counters attributed to that span;
+    - {!chrome_trace} / {!write_trace}: the Chrome trace-event JSON
+      format (load in [chrome://tracing] or [ui.perfetto.dev]); spans
+      become complete ("ph":"X") events with their counters as [args],
+      global counters become counter ("ph":"C") tracks. *)
+
+(** {2 Switch} *)
+
+val enabled : unit -> bool
+
+val enable : unit -> unit
+(** Start recording.  The first [enable] (or any {!reset}) stamps the
+    trace epoch all timestamps are relative to. *)
+
+val disable : unit -> unit
+(** Stop recording; already-collected events are kept. *)
+
+val reset : unit -> unit
+(** Drop all events and counters and restamp the epoch (does not change
+    the enabled flag). *)
+
+val set_clock : (unit -> float) -> unit
+(** Replace the time source (seconds, arbitrary epoch, must be
+    monotone non-decreasing).  The default is [Unix.gettimeofday];
+    [bench/main.exe] installs Bechamel's [CLOCK_MONOTONIC] stub. *)
+
+(** {2 Recording} *)
+
+val span : string -> (unit -> 'a) -> 'a
+(** [span name f] runs [f ()], timing it as one hierarchical span.  The
+    event is recorded even when [f] raises (the exception propagates).
+    A single branch when disabled. *)
+
+val count : string -> int -> unit
+(** [count name n] adds [n] to counter [name], both globally and on the
+    innermost open span (that is what the summary table shows per
+    stage).  No-op when disabled. *)
+
+val gauge : string -> int -> unit
+(** [gauge name v] sets counter [name] to [v] (last write wins) —
+    for absolute quantities like "gates" or "bdd.nodes" where adding
+    across stages would be meaningless. *)
+
+(** {2 Inspection} *)
+
+(** One completed span occurrence. *)
+type event =
+  { path : string  (** dot-joined ancestry, e.g. ["place"] or ["route.channel"] *)
+  ; name : string  (** the name passed to {!span} *)
+  ; depth : int  (** 0 = top level *)
+  ; start_us : float  (** microseconds since the epoch ({!reset}) *)
+  ; dur_us : float
+  ; self_us : float  (** [dur_us] minus time spent in child spans *)
+  ; counters : (string * int) list  (** counts attributed to this occurrence *)
+  }
+
+val events : unit -> event list
+(** All completed spans, in start order. *)
+
+val totals : unit -> (string * int) list
+(** Global counter/gauge values, sorted by name. *)
+
+(** One aggregated row of the per-stage summary. *)
+type row =
+  { rpath : string
+  ; rdepth : int
+  ; calls : int
+  ; total_ms : float
+  ; self_ms : float
+  ; rcounters : (string * int) list  (** summed over the path's occurrences *)
+  }
+
+val stage_table : unit -> row list
+(** Events aggregated by path, ordered so children follow their parent
+    (by first start time, parents first). *)
+
+val pp_summary : Format.formatter -> unit -> unit
+(** The per-stage table plus the global counters, human-readable.
+    Percentages are of the summed top-level span time. *)
+
+val chrome_trace : unit -> string
+(** The whole recording as Chrome trace-event JSON (an object with a
+    ["traceEvents"] array).  Parses back with {!Json.parse}. *)
+
+val write_trace : string -> unit
+(** [write_trace path] writes {!chrome_trace} to [path]. *)

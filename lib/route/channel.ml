@@ -85,6 +85,7 @@ let segments_of_net ~dogleg net pins =
     pairs pins
 
 let route ?(dogleg = false) spec =
+  Sc_obs.Obs.span "channel" @@ fun () ->
   validate spec;
   (* group pins by net *)
   let by_net = Hashtbl.create 16 in
@@ -203,6 +204,8 @@ let route ?(dogleg = false) spec =
     (fun x -> add (Cell.box Layer.Poly (Rect.make x 0 (x + 2) height)))
     !throughs;
   let layout = Cell.make ~name:"channel" (List.rev !elements) in
+  Sc_obs.Obs.count "route.tracks" ntracks;
+  Sc_obs.Obs.count "route.height" height;
   { height; tracks = ntracks; layout; trunk_length = !trunk_length }
 
 let river ~width pairs =

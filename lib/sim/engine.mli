@@ -39,11 +39,14 @@ val step : t -> unit
 (** [run t n] — [n] clock edges. *)
 val run : t -> int -> unit
 
+(** The current three-valued settled value of an output port (lsb
+    first). *)
 val get_output : t -> string -> Value.t array
 
 (** [None] when any bit is X. *)
 val get_output_int : t -> string -> int option
 
+(** The settled value of one net of the flattened circuit. *)
 val net_value : t -> Circuit.net -> Value.t
 
 (** [net_by_name t name] looks a net up by its hierarchical debug name. *)

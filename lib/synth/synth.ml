@@ -163,6 +163,8 @@ let gates ?(optimize = true) ?(selfcheck = false) design =
   (match Sc_rtl.Check.check design with
   | [] -> ()
   | e :: _ -> invalid_arg ("Synth.gates: " ^ e));
+  let circuit =
+    Sc_obs.Obs.span "compile" @@ fun () ->
   let b = Builder.create design.Ast.name in
   let env = ref SMap.empty in
   List.iter
@@ -195,7 +197,8 @@ let gates ?(optimize = true) ?(selfcheck = false) design =
   List.iter
     (fun (d : Ast.decl) -> Builder.output b d.dname (SMap.find d.dname final))
     design.Ast.outputs;
-  let circuit = Builder.finish b in
+  Builder.finish b
+  in
   let raw = circuit in
   let circuit = if optimize then Optimize.simplify circuit else circuit in
   if selfcheck && optimize then begin
@@ -208,8 +211,12 @@ let gates ?(optimize = true) ?(selfcheck = false) design =
         (Format.asprintf "Synth.gates: self-check failed for %s: %a"
            design.Ast.name Sc_equiv.Checker.pp_verdict v)
   end;
+  let stats = Circuit.stats circuit in
+  Sc_obs.Obs.gauge "gates" stats.Circuit.gate_total;
+  Sc_obs.Obs.gauge "flipflops" stats.Circuit.flipflops;
+  Sc_obs.Obs.gauge "transistors" stats.Circuit.transistors;
   { circuit
-  ; stats = Circuit.stats circuit
+  ; stats
   ; cell_area = Sc_stdcell.Library.circuit_cell_area circuit
   ; critical_path = Timing.critical_path circuit
   }
@@ -236,6 +243,8 @@ let pla_fsm ?(minimize = true) design =
     invalid_arg
       (Printf.sprintf "Synth.pla_fsm: %d state+input bits exceed %d" total_in
          max_bits);
+  let pla =
+    Sc_obs.Obs.span "compile" @@ fun () ->
   let interp = Sc_rtl.Interp.create design in
   let f bits =
     (* bit order: inputs in declaration order (lsb first), then registers *)
@@ -275,8 +284,7 @@ let pla_fsm ?(minimize = true) design =
     Sc_logic.Cover.of_function ~ninputs:total_in
       ~noutputs:(state_bits + out_bits) f
   in
-  let pla =
-    Sc_pla.Generator.generate ~minimize ~name:(design.Ast.name ^ "_pla") cover
+  Sc_pla.Generator.generate ~minimize ~name:(design.Ast.name ^ "_pla") cover
   in
   (* wrap: inputs and state feed the PLA; state bits register its outputs *)
   let b = Builder.create design.Ast.name in

@@ -39,6 +39,8 @@ type result =
     @raise Invalid_argument when the design fails {!Sc_rtl.Check.check}. *)
 val gates : ?optimize:bool -> ?selfcheck:bool -> Sc_rtl.Ast.design -> result
 
+(** Largest state+input bit count {!pla_fsm} will enumerate (the FSM
+    extraction tabulates all [2^n] points of the transition function). *)
 val max_bits : int
 
 (** @raise Invalid_argument when state+input bits exceed [max_bits]. *)

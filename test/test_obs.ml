@@ -1,0 +1,202 @@
+(* lib/obs: spans, counters, the stage table and Chrome trace export.
+   The recorder is process-global, so every test disables and resets it
+   on the way out. *)
+
+module Obs = Sc_obs.Obs
+module Json = Sc_obs.Json
+
+let with_recorder f =
+  Obs.reset ();
+  Obs.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.disable ();
+      Obs.reset ())
+    f
+
+let test_disabled_noop () =
+  Obs.reset ();
+  Obs.disable ();
+  let r = Obs.span "stage" (fun () -> 17) in
+  Alcotest.(check int) "span passes the result through" 17 r;
+  Obs.count "gates" 5;
+  Obs.gauge "area" 100;
+  Alcotest.(check int) "no events recorded" 0 (List.length (Obs.events ()));
+  Alcotest.(check int) "no counters recorded" 0 (List.length (Obs.totals ()))
+
+let test_span_nesting () =
+  with_recorder @@ fun () ->
+  let r =
+    Obs.span "outer" (fun () ->
+        Obs.span "inner" (fun () -> ignore (Sys.opaque_identity 1));
+        Obs.span "inner" (fun () -> ());
+        "done")
+  in
+  Alcotest.(check string) "result" "done" r;
+  let evs = Obs.events () in
+  Alcotest.(check int) "three events" 3 (List.length evs);
+  let outer = List.find (fun (e : Obs.event) -> e.name = "outer") evs in
+  let inners = List.filter (fun (e : Obs.event) -> e.name = "inner") evs in
+  Alcotest.(check string) "outer path" "outer" outer.path;
+  Alcotest.(check int) "outer depth" 0 outer.depth;
+  List.iter
+    (fun (e : Obs.event) ->
+      Alcotest.(check string) "inner path" "outer.inner" e.path;
+      Alcotest.(check int) "inner depth" 1 e.depth;
+      Alcotest.(check bool) "child within parent" true
+        (e.start_us >= outer.start_us
+        && e.start_us +. e.dur_us <= outer.start_us +. outer.dur_us +. 1.0))
+    inners;
+  let children = List.fold_left (fun a (e : Obs.event) -> a +. e.dur_us) 0.0 inners in
+  Alcotest.(check bool) "self excludes children" true
+    (outer.self_us <= outer.dur_us -. children +. 1.0)
+
+let test_counter_aggregation () =
+  with_recorder @@ fun () ->
+  Obs.span "a" (fun () ->
+      Obs.count "gates" 3;
+      Obs.span "b" (fun () -> Obs.count "gates" 4);
+      Obs.count "gates" 5);
+  Obs.gauge "nodes" 7;
+  Obs.gauge "nodes" 9;
+  let ev name = List.find (fun (e : Obs.event) -> e.name = name) (Obs.events ()) in
+  Alcotest.(check (option int)) "innermost span owns its counts" (Some 4)
+    (List.assoc_opt "gates" (ev "b").counters);
+  Alcotest.(check (option int)) "outer span keeps only its own" (Some 8)
+    (List.assoc_opt "gates" (ev "a").counters);
+  Alcotest.(check (option int)) "global counter sums everything" (Some 12)
+    (List.assoc_opt "gates" (Obs.totals ()));
+  Alcotest.(check (option int)) "gauge: last write wins" (Some 9)
+    (List.assoc_opt "nodes" (Obs.totals ()))
+
+let test_exception_safety () =
+  with_recorder @@ fun () ->
+  (try Obs.span "boom" (fun () -> failwith "expected") with Failure _ -> ());
+  let evs = Obs.events () in
+  Alcotest.(check int) "event recorded despite the raise" 1 (List.length evs);
+  Alcotest.(check string) "named" "boom" (List.hd evs).Obs.path;
+  (* the stack unwound: a new span is top-level again *)
+  Obs.span "after" (fun () -> ());
+  let after = List.find (fun (e : Obs.event) -> e.name = "after") (Obs.events ()) in
+  Alcotest.(check int) "stack unwound" 0 after.Obs.depth
+
+let test_stage_table () =
+  with_recorder @@ fun () ->
+  Obs.span "x" (fun () -> Obs.count "n" 1);
+  Obs.span "x" (fun () -> Obs.count "n" 2);
+  Obs.span "y" (fun () -> ());
+  let rows = Obs.stage_table () in
+  Alcotest.(check int) "two rows" 2 (List.length rows);
+  let x = List.find (fun (r : Obs.row) -> r.rpath = "x") rows in
+  Alcotest.(check int) "x called twice" 2 x.calls;
+  Alcotest.(check (option int)) "x counters summed" (Some 3)
+    (List.assoc_opt "n" x.rcounters);
+  (* ordering: first start first *)
+  Alcotest.(check string) "x first" "x" (List.hd rows).Obs.rpath
+
+let test_trace_roundtrip () =
+  with_recorder @@ fun () ->
+  Obs.span "parse" (fun () -> ());
+  Obs.span "place" (fun () ->
+      Obs.span "route" (fun () -> Obs.count "route.tracks" 12));
+  let text = Obs.chrome_trace () in
+  match Json.parse text with
+  | Error e -> Alcotest.failf "trace does not parse back: %s" e
+  | Ok json -> (
+    match Json.member "traceEvents" json with
+    | Some (Json.Arr evs) ->
+      let spans =
+        List.filter
+          (fun e -> Json.member "ph" e = Some (Json.Str "X"))
+          evs
+      in
+      Alcotest.(check int) "one X event per span" 3 (List.length spans);
+      List.iter
+        (fun e ->
+          (match Json.member "ts" e with
+          | Some (Json.Num ts) ->
+            Alcotest.(check bool) "ts non-negative" true (ts >= 0.0)
+          | _ -> Alcotest.fail "missing ts");
+          match Json.member "dur" e with
+          | Some (Json.Num d) ->
+            Alcotest.(check bool) "dur non-negative" true (d >= 0.0)
+          | _ -> Alcotest.fail "missing dur")
+        spans;
+      let nested =
+        List.find_opt
+          (fun e -> Json.member "name" e = Some (Json.Str "place.route"))
+          spans
+      in
+      Alcotest.(check bool) "nested span keeps its path" true (nested <> None);
+      let counters =
+        List.filter
+          (fun e -> Json.member "ph" e = Some (Json.Str "C"))
+          evs
+      in
+      Alcotest.(check bool) "counter track present" true
+        (List.exists
+           (fun e -> Json.member "name" e = Some (Json.Str "route.tracks"))
+           counters)
+    | _ -> Alcotest.fail "traceEvents missing or not an array")
+
+let test_json_parser () =
+  let roundtrip s =
+    match Json.parse s with
+    | Error e -> Alcotest.failf "parse %s: %s" s e
+    | Ok v -> (
+      match Json.parse (Json.to_string v) with
+      | Error e -> Alcotest.failf "reparse of %s: %s" (Json.to_string v) e
+      | Ok w -> Alcotest.(check bool) ("roundtrip " ^ s) true (Json.equal v w))
+  in
+  roundtrip "null";
+  roundtrip "[1, -2.5, 3e4, 0.125]";
+  roundtrip {|{"a": [true, false, null], "b": {"c": "d"}}|};
+  roundtrip {|"line\nbreak\ttab \"quoted\" back\\slash"|};
+  roundtrip {|"unicode é 世 😀"|};
+  (match Json.parse "[1, 2" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unterminated array accepted");
+  (match Json.parse "{\"a\" 1}" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "missing colon accepted");
+  (match Json.parse "[] trailing" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "trailing garbage accepted");
+  match Json.parse {|{"k": 1}|} with
+  | Ok v ->
+    Alcotest.(check bool) "member" true
+      (Json.member "k" v = Some (Json.Num 1.0))
+  | Error e -> Alcotest.fail e
+
+(* the whole point: a real compilation, observed end to end *)
+let test_compiler_stages () =
+  with_recorder @@ fun () ->
+  (match Sc_core.Compiler.compile_behavior Sc_core.Designs.counter_src with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  let rows = Obs.stage_table () in
+  List.iter
+    (fun stage ->
+      Alcotest.(check bool) ("stage " ^ stage ^ " recorded") true
+        (List.exists (fun (r : Obs.row) -> r.rpath = stage) rows))
+    [ "parse"; "compile"; "optimize"; "place"; "route"; "drc"; "emit" ];
+  (match Json.parse (Obs.chrome_trace ()) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "compiler trace does not parse: %s" e);
+  let totals = Obs.totals () in
+  List.iter
+    (fun key ->
+      Alcotest.(check bool) ("counter " ^ key) true
+        (List.assoc_opt key totals <> None))
+    [ "gates"; "transistors"; "route.tracks"; "cif.bytes"; "drc.violations" ]
+
+let suite =
+  [ Alcotest.test_case "disabled mode is a no-op" `Quick test_disabled_noop
+  ; Alcotest.test_case "span nesting" `Quick test_span_nesting
+  ; Alcotest.test_case "counter aggregation" `Quick test_counter_aggregation
+  ; Alcotest.test_case "exception safety" `Quick test_exception_safety
+  ; Alcotest.test_case "stage table" `Quick test_stage_table
+  ; Alcotest.test_case "chrome trace roundtrip" `Quick test_trace_roundtrip
+  ; Alcotest.test_case "json parser" `Quick test_json_parser
+  ; Alcotest.test_case "compiler stages observed" `Quick test_compiler_stages
+  ]
