@@ -8,8 +8,8 @@
 
    Run everything:        dune exec bench/main.exe
    Run one experiment:    dune exec bench/main.exe -- e3
-   Options:               e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 profile ablate
-                          micro all
+   Options:               e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 profile
+                          ablate micro all
    (e10 and profile are synonyms: the stage-cost profile of the full
    behavioral path, regenerating the EXPERIMENTS.md E10 table.) *)
 
@@ -797,6 +797,119 @@ let micro () =
     (List.sort compare rows)
 
 (* ------------------------------------------------------------------ *)
+(* E11: domain-pool scaling and the content-hash result cache          *)
+(* ------------------------------------------------------------------ *)
+
+let e11 () =
+  section "E11: domain-pool scaling and the content-hash result cache"
+    "DRC sharding, multi-seed placement and per-cone equivalence run on \
+     an OCaml 5 domain pool with byte-identical output at every pool \
+     width; a content-addressed cache makes identical recompiles free";
+  let cores = Domain.recommended_domain_count () in
+  Printf.printf "host: %d core(s) available to the runtime%s\n\n" cores
+    (if cores = 1 then
+       " — wall-clock speedup is bounded at 1.0x here; the table still \
+        demonstrates determinism and bounded overhead"
+     else "");
+  let wall f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, (Unix.gettimeofday () -. t0) *. 1000.)
+  in
+  let levels = [ 1; 2; 4; 8 ] in
+  let with_pool j f =
+    let pool = Sc_par.Pool.create ~domains:j () in
+    Fun.protect
+      ~finally:(fun () -> Sc_par.Pool.shutdown pool)
+      (fun () -> wall (fun () -> f pool))
+  in
+  Printf.printf "%-8s %-6s %9s %9s %9s %9s %7s %s\n" "design" "stage"
+    "j=1 ms" "j=2 ms" "j=4 ms" "j=8 ms" "x at 4" "identical";
+  let all_identical = ref true in
+  let print_row name stage times same =
+    if not same then all_identical := false;
+    match times with
+    | [ t1; t2; t4; t8 ] ->
+      Printf.printf "%-8s %-6s %9.1f %9.1f %9.1f %9.1f %7.2f %s\n" name stage
+        t1 t2 t4 t8
+        (t1 /. Float.max t4 0.001)
+        (if same then "yes" else "NO")
+    | _ -> assert false
+  in
+  List.iter
+    (fun (name, src) ->
+      let d = Sc_core.Designs.parse src in
+      let circuit = (Sc_synth.Synth.gates d).Sc_synth.Synth.circuit in
+      let problem = Sc_place.Placer.problem_of_circuit circuit in
+      let layout = Sc_core.Compiler.layout_of_circuit ~name circuit in
+      let flat = Sc_layout.Flatten.run layout in
+      let row stage f check_same =
+        let results = List.map (fun j -> with_pool j f) levels in
+        print_row name stage
+          (List.map snd results)
+          (check_same (List.map fst results))
+      in
+      row "drc"
+        (fun pool -> Sc_drc.Checker.check_flat ~pool flat)
+        (fun vs -> List.for_all (( = ) (List.hd vs)) vs);
+      row "place"
+        (fun pool ->
+          let pl = Sc_place.Placer.best_of ~pool ~seeds:7 problem in
+          Sc_core.Compiler.to_cif (Sc_place.Placer.to_layout ~name pl))
+        (fun cifs -> List.for_all (String.equal (List.hd cifs)) cifs))
+    [ ("counter", Sc_core.Designs.counter_src)
+    ; ("traffic", Sc_core.Designs.traffic_src)
+    ; ("alu4", Sc_core.Designs.alu_src)
+    ; ("pdp8", Sc_core.Designs.pdp8_src)
+    ];
+  (* equivalence by output cone: the 48-input pdp8 datapath, one BDD
+     manager per cone *)
+  let dp = Sc_core.Designs.parse Sc_core.Designs.pdp8_dp_src in
+  let synth_dp = (Sc_synth.Synth.gates dp).Sc_synth.Synth.circuit in
+  let hand_dp = Sc_core.Designs.hand_pdp8_dp () in
+  let cone_runs =
+    List.map
+      (fun j ->
+        with_pool j (fun pool ->
+            Sc_equiv.Checker.check_cones ~pool synth_dp hand_dp))
+      levels
+  in
+  let verdicts_ok =
+    List.for_all
+      (fun (v, _) -> v = Sc_equiv.Checker.Equivalent)
+      cone_runs
+  in
+  print_row "pdp8_dp" "equiv" (List.map snd cone_runs) verdicts_ok;
+  if not !all_identical then begin
+    Printf.printf "\nFAIL: output varied with the pool width\n";
+    exit 1
+  end;
+  Printf.printf "\nall outputs byte-identical at every pool width\n";
+  (* the result cache: hit in memory, then from disk after a "restart" *)
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "scc-e11-cache" in
+  (* the directory persists across bench runs: start genuinely cold *)
+  if Sys.file_exists dir then
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  let compile () =
+    match Sc_core.Compiler.compile_behavior Sc_core.Designs.pdp8_src with
+    | Ok _ -> ()
+    | Error e -> failwith e
+  in
+  Sc_core.Compiler.Result_cache.enable ~dir ();
+  let (), cold = wall compile in
+  let (), warm = wall compile in
+  Sc_core.Compiler.Result_cache.disable ();
+  Sc_core.Compiler.Result_cache.enable ~dir ();
+  let (), disk = wall compile in
+  Sc_core.Compiler.Result_cache.disable ();
+  Printf.printf
+    "result cache (pdp8): cold %.1f ms, memory hit %.1f ms (%.0fx), disk \
+     hit after restart %.1f ms\n"
+    cold warm
+    (cold /. Float.max warm 0.001)
+    disk
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
@@ -811,6 +924,7 @@ let () =
     | "e8" -> e8 ()
     | "e9" -> e9 ()
     | "e10" | "profile" -> profile ()
+    | "e11" -> e11 ()
     | "ablate" -> ablate ()
     | "micro" -> micro ()
     | other -> Printf.eprintf "unknown experiment %S\n" other
@@ -818,7 +932,7 @@ let () =
   match what with
   | "all" ->
     List.iter run
-      [ "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e7"; "e8"; "e9"; "e10"
+      [ "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e7"; "e8"; "e9"; "e10"; "e11"
       ; "ablate"; "micro"
       ]
   | w -> run w

@@ -76,6 +76,52 @@ let verify_arg =
     & info [ "verify" ]
         ~doc:"Formally certify the compilation stage with the BDD engine.")
 
+(* --- parallelism / caching --- *)
+
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the parallel stages (DRC sharding, \
+           placement restarts, equivalence cones).  1 (the default) is \
+           strictly sequential; output is byte-identical at every level.")
+
+(* sizes the process-default pool before running [k] *)
+let with_jobs jobs k =
+  Sc_par.Pool.set_default_size jobs;
+  k ()
+
+let cache_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache-dir" ] ~docv:"DIR"
+        ~doc:
+          "Persist compilation results content-addressed under $(docv); \
+           an identical source compiled again is a cache hit, even \
+           across processes.")
+
+let restarts_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "restarts" ] ~docv:"N"
+        ~doc:
+          "Extra random-start placements refined concurrently (best \
+           HPWL wins; 0 = constructive placement only).")
+
+let with_cache cache_dir k =
+  (match cache_dir with
+  | Some dir -> Sc_core.Compiler.Result_cache.enable ~dir ()
+  | None -> ());
+  let r = k () in
+  (match Sc_core.Compiler.Result_cache.stats () with
+  | Some s when cache_dir <> None ->
+    Printf.eprintf "cache: %s\n%!"
+      (Format.asprintf "%a" Sc_cache.Cache.pp_stats s)
+  | _ -> ());
+  r
+
 (* --- observability: --stats / --trace --- *)
 
 let stats_arg =
@@ -132,28 +178,42 @@ let verify_cell_library () =
       [| Sc_netlist.Builder.gate b kind (Array.of_list nets) |];
     Sc_netlist.Builder.finish b
   in
+  let bad =
+    List.fold_left
+      (fun bad (name, cell, kind, ins) ->
+        match
+          Sc_equiv.Checker.check_artwork cell ~inputs:ins ~outputs:[ "y" ]
+            (gate_ref name kind ins)
+        with
+        | Sc_equiv.Checker.Equivalent ->
+          Printf.eprintf "verify: artwork %-6s equivalent to its gate\n%!" name;
+          bad
+        | Sc_equiv.Checker.Not_equivalent _ as v ->
+          Printf.eprintf "verify: artwork %s FAILED: %s\n%!" name
+            (Format.asprintf "%a" Sc_equiv.Checker.pp_verdict v);
+          bad + 1)
+      0
+      [ ("inv", Sc_stdcell.Nmos.inv (), Sc_netlist.Gate.Inv, [ "a" ])
+      ; ("nand2", Sc_stdcell.Nmos.nand 2, Sc_netlist.Gate.Nand2, [ "a"; "b" ])
+      ; ("nand3", Sc_stdcell.Nmos.nand 3, Sc_netlist.Gate.Nand3, [ "a"; "b"; "c" ])
+      ; ("nor2", Sc_stdcell.Nmos.nor2 (), Sc_netlist.Gate.Nor2, [ "a"; "b" ])
+      ]
+  in
+  (* and the full library's artwork passes DRC (memoized per geometry) *)
   List.fold_left
-    (fun bad (name, cell, kind, ins) ->
-      match
-        Sc_equiv.Checker.check_artwork cell ~inputs:ins ~outputs:[ "y" ]
-          (gate_ref name kind ins)
-      with
-      | Sc_equiv.Checker.Equivalent ->
-        Printf.eprintf "verify: artwork %-6s equivalent to its gate\n%!" name;
-        bad
-      | Sc_equiv.Checker.Not_equivalent _ as v ->
-        Printf.eprintf "verify: artwork %s FAILED: %s\n%!" name
-          (Format.asprintf "%a" Sc_equiv.Checker.pp_verdict v);
-        bad + 1)
-    0
-    [ ("inv", Sc_stdcell.Nmos.inv (), Sc_netlist.Gate.Inv, [ "a" ])
-    ; ("nand2", Sc_stdcell.Nmos.nand 2, Sc_netlist.Gate.Nand2, [ "a"; "b" ])
-    ; ("nand3", Sc_stdcell.Nmos.nand 3, Sc_netlist.Gate.Nand3, [ "a"; "b"; "c" ])
-    ; ("nor2", Sc_stdcell.Nmos.nor2 (), Sc_netlist.Gate.Nor2, [ "a"; "b" ])
-    ]
+    (fun bad kind ->
+      if Sc_stdcell.Library.drc_clean kind then bad
+      else begin
+        Printf.eprintf "verify: cell %s FAILED DRC: %d violations\n%!"
+          (Sc_netlist.Gate.to_string kind)
+          (Sc_stdcell.Library.drc_violations kind);
+        bad + 1
+      end)
+    bad Sc_netlist.Gate.all
 
 let layout_cmd =
-  let run file entry args output verify stats trace =
+  let run file entry args output verify stats trace jobs =
+    with_jobs jobs @@ fun () ->
     instrumented ~stats ~trace ~table:Format.err_formatter (fun () ->
         match Sc_core.Compiler.compile_layout ?entry ~args (read_file file) with
         | Error e ->
@@ -168,7 +228,7 @@ let layout_cmd =
     (Cmd.info "layout" ~doc:"Compile a layout-language program to CIF.")
     Term.(
       const run $ file_arg $ entry_arg $ args_arg $ output_arg $ verify_arg
-      $ stats_arg $ trace_arg)
+      $ stats_arg $ trace_arg $ jobs_arg)
 
 (* --- behavior --- *)
 
@@ -180,8 +240,8 @@ let style_arg =
     & info [ "s"; "style" ] ~docv:"STYLE"
         ~doc:"Control style: $(b,gates) (random logic) or $(b,pla).")
 
-let behavior_run src style output verify =
-  match Sc_core.Compiler.compile_behavior ~style src with
+let behavior_run ?restarts src style output verify =
+  match Sc_core.Compiler.compile_behavior ~style ?restarts src with
   | Error e ->
     Printf.eprintf "error: %s\n" e;
     1
@@ -214,15 +274,17 @@ let behavior_run src style output verify =
     else 0
 
 let behavior_cmd =
-  let run file style output verify stats trace =
+  let run file style output verify stats trace jobs cache_dir restarts =
+    with_jobs jobs @@ fun () ->
+    with_cache cache_dir @@ fun () ->
     instrumented ~stats ~trace ~table:Format.err_formatter (fun () ->
-        behavior_run (read_file file) style output verify)
+        behavior_run ~restarts (read_file file) style output verify)
   in
   Cmd.v
     (Cmd.info "behavior" ~doc:"Compile an ISP behavioral description to CIF.")
     Term.(
       const run $ file_arg $ style_arg $ output_arg $ verify_arg $ stats_arg
-      $ trace_arg)
+      $ trace_arg $ jobs_arg $ cache_dir_arg $ restarts_arg)
 
 (* --- isp: builtin designs (or files) through the full behavioral path,
    built for profiling: the stage table goes to stdout, CIF is written
@@ -239,7 +301,7 @@ let isp_cmd =
              $(b,gray), $(b,seqdet), $(b,pdp8), $(b,pdp8_dp)) or an ISP \
              file path.")
   in
-  let run design style output stats trace =
+  let run design style output stats trace jobs cache_dir restarts =
     let src =
       match design with
       | "counter" -> Some Sc_core.Designs.counter_src
@@ -258,8 +320,10 @@ let isp_cmd =
         design;
       2
     | Some src ->
+      with_jobs jobs @@ fun () ->
+      with_cache cache_dir @@ fun () ->
       instrumented ~stats ~trace ~table:Format.std_formatter (fun () ->
-          match Sc_core.Compiler.compile_behavior ~style src with
+          match Sc_core.Compiler.compile_behavior ~style ~restarts src with
           | Error e ->
             Printf.eprintf "error: %s\n" e;
             1
@@ -279,7 +343,8 @@ let isp_cmd =
          "Compile a builtin ISP design (or file) to layout, reporting \
           where the time and area go (see --stats/--trace).")
     Term.(
-      const run $ design_arg $ style_arg $ output_arg $ stats_arg $ trace_arg)
+      const run $ design_arg $ style_arg $ output_arg $ stats_arg $ trace_arg
+      $ jobs_arg $ cache_dir_arg $ restarts_arg)
 
 (* --- drc / stats on CIF files --- *)
 
@@ -291,7 +356,8 @@ let with_cif file k =
   | Ok cell -> k cell
 
 let drc_cmd =
-  let run file =
+  let run file jobs =
+    with_jobs jobs @@ fun () ->
     with_cif file (fun cell ->
         let vs = Sc_drc.Checker.check cell in
         Sc_drc.Checker.report Format.std_formatter vs;
@@ -299,7 +365,7 @@ let drc_cmd =
   in
   Cmd.v
     (Cmd.info "drc" ~doc:"Design-rule-check a CIF file.")
-    Term.(const run $ file_arg)
+    Term.(const run $ file_arg $ jobs_arg)
 
 let stats_cmd =
   let run file =
@@ -457,7 +523,8 @@ let equiv_cmd =
       & info [ "order" ] ~docv:"ORDER"
           ~doc:"BDD variable order: $(b,decl) or $(b,dfs) (default).")
   in
-  let run a_spec b_spec k mutate order =
+  let run a_spec b_spec k mutate order jobs =
+    with_jobs jobs @@ fun () ->
     match (resolve_circuit a_spec, resolve_circuit b_spec) with
     | Error e, _ | _, Error e ->
       Printf.eprintf "error: %s\n" e;
@@ -469,8 +536,17 @@ let equiv_cmd =
           | None -> b
           | Some i -> Sc_equiv.Checker.mutate b i
         in
-        let man = Sc_equiv.Bdd.create () in
-        (man, Sc_equiv.Checker.check ~man ~order ~k a b, b)
+        (* -j > 1 checks one output cone per task, each with its own
+           manager; the single-manager path reports its node count *)
+        let verdict, nodes =
+          if jobs > 1 then
+            (Sc_equiv.Checker.check_cones ~order ~k a b, None)
+          else begin
+            let man = Sc_equiv.Bdd.create () in
+            (Sc_equiv.Checker.check ~man ~order ~k a b, Some man)
+          end
+        in
+        (verdict, nodes, b)
       with
       | exception Invalid_argument e ->
         Printf.eprintf "error: %s\n" e;
@@ -478,11 +554,14 @@ let equiv_cmd =
       | exception Sc_equiv.Miter.Mismatch e ->
         Printf.eprintf "port mismatch: %s\n" e;
         2
-      | man, Sc_equiv.Checker.Equivalent, _ ->
-        Printf.printf "equivalent (%d BDD nodes)\n"
-          (Sc_equiv.Bdd.node_count man);
+      | Sc_equiv.Checker.Equivalent, nodes, _ ->
+        (match nodes with
+        | Some man ->
+          Printf.printf "equivalent (%d BDD nodes)\n"
+            (Sc_equiv.Bdd.node_count man)
+        | None -> Printf.printf "equivalent\n");
         0
-      | _, (Sc_equiv.Checker.Not_equivalent cex as v), b ->
+      | (Sc_equiv.Checker.Not_equivalent cex as v), _, b ->
         Format.printf "@[<v>%a@]@." Sc_equiv.Checker.pp_verdict v;
         let confirmed = Sc_equiv.Checker.replay a b cex in
         Printf.printf "replay through the event-driven simulator: %s\n"
@@ -497,7 +576,7 @@ let equiv_cmd =
           counterexample.")
     Term.(
       const run $ spec_arg 0 "A" $ spec_arg 1 "B" $ k_arg $ mutate_arg
-      $ order_arg)
+      $ order_arg $ jobs_arg)
 
 let () =
   let doc = "the silicon compiler: textual descriptions to layout data" in

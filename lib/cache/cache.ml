@@ -1,0 +1,189 @@
+(* LRU via an intrusive doubly-linked list threaded through the table's
+   entries: head = most recent, tail = eviction candidate. *)
+
+type 'a node =
+  { nkey : string
+  ; nvalue : 'a
+  ; mutable prev : 'a node option  (* toward the head / more recent *)
+  ; mutable next : 'a node option
+  }
+
+type stats =
+  { entries : int
+  ; capacity : int
+  ; hits : int
+  ; disk_hits : int
+  ; misses : int
+  ; evictions : int
+  }
+
+type 'a t =
+  { name : string
+  ; cap : int
+  ; dir : string option
+  ; tbl : (string, 'a node) Hashtbl.t
+  ; lock : Mutex.t
+  ; mutable head : 'a node option
+  ; mutable tail : 'a node option
+  ; mutable hits : int
+  ; mutable disk_hits : int
+  ; mutable misses : int
+  ; mutable evictions : int
+  }
+
+let digest s = Digest.to_hex (Digest.string s)
+
+let create ?(capacity = 256) ?dir ~name () =
+  (match dir with
+  | Some d when not (Sys.file_exists d) -> (try Unix.mkdir d 0o755 with Unix.Unix_error _ -> ())
+  | _ -> ());
+  { name
+  ; cap = max 1 capacity
+  ; dir
+  ; tbl = Hashtbl.create 64
+  ; lock = Mutex.create ()
+  ; head = None
+  ; tail = None
+  ; hits = 0
+  ; disk_hits = 0
+  ; misses = 0
+  ; evictions = 0
+  }
+
+(* --- list surgery; caller holds the lock --- *)
+
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.head <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.next <- t.head;
+  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n
+
+let insert t key value =
+  if not (Hashtbl.mem t.tbl key) then begin
+    let n = { nkey = key; nvalue = value; prev = None; next = None } in
+    Hashtbl.replace t.tbl key n;
+    push_front t n;
+    while Hashtbl.length t.tbl > t.cap do
+      match t.tail with
+      | Some last ->
+        unlink t last;
+        Hashtbl.remove t.tbl last.nkey;
+        t.evictions <- t.evictions + 1
+      | None -> assert false
+    done
+  end
+
+(* --- disk layer --- *)
+
+let file_of t key =
+  match t.dir with
+  | None -> None
+  | Some d -> Some (Filename.concat d (t.name ^ "-" ^ key))
+
+let disk_read t key =
+  match file_of t key with
+  | Some path when Sys.file_exists path -> (
+    try
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> Some (Marshal.from_channel ic))
+    with _ -> None)
+  | _ -> None
+
+let disk_write t key value =
+  match file_of t key with
+  | None -> ()
+  | Some path -> (
+    try
+      let tmp = path ^ ".tmp" in
+      let oc = open_out_bin tmp in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () -> Marshal.to_channel oc value []);
+      Sys.rename tmp path
+    with _ -> ())
+
+(* --- lookup / insert --- *)
+
+let locked t f = Mutex.protect t.lock f
+
+let note t what = Sc_obs.Obs.count ("cache." ^ t.name ^ "." ^ what) 1
+
+let find t key =
+  let hit =
+    locked t (fun () ->
+        match Hashtbl.find_opt t.tbl key with
+        | Some n ->
+          t.hits <- t.hits + 1;
+          unlink t n;
+          push_front t n;
+          Some n.nvalue
+        | None -> None)
+  in
+  (match hit with Some _ -> note t "hit" | None -> ());
+  hit
+
+let find_or_add t key compute =
+  match find t key with
+  | Some v -> v
+  | None -> (
+    match disk_read t key with
+    | Some v ->
+      locked t (fun () ->
+          t.disk_hits <- t.disk_hits + 1;
+          insert t key v);
+      note t "disk_hit";
+      v
+    | None ->
+      (* compute outside the lock: a racing domain at worst repeats the
+         work and the second insert is a no-op *)
+      let v = compute () in
+      locked t (fun () ->
+          t.misses <- t.misses + 1;
+          insert t key v);
+      disk_write t key v;
+      note t "miss";
+      v)
+
+let remove t key =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl key with
+      | Some n ->
+        unlink t n;
+        Hashtbl.remove t.tbl key
+      | None -> ());
+  match file_of t key with
+  | Some path when Sys.file_exists path -> ( try Sys.remove path with _ -> ())
+  | _ -> ()
+
+let clear t =
+  locked t (fun () ->
+      Hashtbl.reset t.tbl;
+      t.head <- None;
+      t.tail <- None;
+      t.hits <- 0;
+      t.disk_hits <- 0;
+      t.misses <- 0;
+      t.evictions <- 0)
+
+let stats t =
+  locked t (fun () ->
+      { entries = Hashtbl.length t.tbl
+      ; capacity = t.cap
+      ; hits = t.hits
+      ; disk_hits = t.disk_hits
+      ; misses = t.misses
+      ; evictions = t.evictions
+      })
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "%d/%d entries, %d hits (%d from disk), %d misses, %d evictions"
+    s.entries s.capacity (s.hits + s.disk_hits) s.disk_hits s.misses
+    s.evictions

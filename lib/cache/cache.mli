@@ -1,0 +1,60 @@
+(** A content-addressed memo store: digest keys to compiled results.
+
+    The pipeline recompiles identical content constantly — every [Dff]
+    instance shares one library layout, every repeated [scc] run of the
+    same source re-places and re-checks the same netlist.  A store maps
+    a {e content digest} (MD5 of a canonical serialization — source
+    text, flattened geometry, netlist) to the result of compiling it:
+    layouts, DRC verdicts, whole [Compiler.compiled] records.
+
+    In memory the store is a bounded LRU (least-recently-used entries
+    evicted at [capacity]).  With [~dir] it also persists: every insert
+    writes [dir/<name>-<digest>], and a miss consults the directory
+    before recomputing, so results survive the process — a second
+    [scc --cache-dir d isp pdp8] skips compilation entirely.  Disk
+    values go through [Marshal]; a directory is trusted input exactly
+    like the source tree it caches for.
+
+    Stores are domain-safe (one mutex each); the computation given to
+    {!find_or_add} runs outside the lock, so two domains may race to
+    compute the same key — both results are equal by construction and
+    the second insert is a no-op.  Hits and misses are reported to
+    {!Sc_obs.Obs} as ["cache.<name>.hit"] / ["cache.<name>.miss"]. *)
+
+type 'a t
+
+val create : ?capacity:int -> ?dir:string -> name:string -> unit -> 'a t
+(** [create ~name ()] — an empty store.  [capacity] bounds the
+    in-memory entry count (default 256; at least 1).  [dir] enables
+    on-disk persistence (created if missing). *)
+
+val digest : string -> string
+(** MD5 of a canonical byte string, in hex — the content address. *)
+
+val find_or_add : 'a t -> string -> (unit -> 'a) -> 'a
+(** [find_or_add t key compute] returns the cached value for [key]
+    (refreshing its recency), or runs [compute], stores the result
+    under [key], and returns it. *)
+
+val find : 'a t -> string -> 'a option
+(** Lookup without computing; refreshes recency on hit. *)
+
+val remove : 'a t -> string -> unit
+(** Drop a key from memory and, when persistent, from disk. *)
+
+val clear : 'a t -> unit
+(** Drop every in-memory entry (the disk store is left alone) and
+    reset the hit/miss counters. *)
+
+type stats =
+  { entries : int  (** live in-memory entries *)
+  ; capacity : int
+  ; hits : int  (** in-memory hits since creation/clear *)
+  ; disk_hits : int  (** misses served from [dir] *)
+  ; misses : int  (** computed from scratch *)
+  ; evictions : int
+  }
+
+val stats : 'a t -> stats
+
+val pp_stats : Format.formatter -> stats -> unit

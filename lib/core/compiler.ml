@@ -28,14 +28,15 @@ let compile_layout ?entry ?args src =
   | Ok cell -> Ok (measure cell)
   | Error e -> Error (Sc_lang.Lang.error_to_string e)
 
-let place_circuit circuit =
+let place_circuit ?(restarts = 0) circuit =
   let problem = Sc_place.Placer.problem_of_circuit circuit in
-  Sc_place.Placer.ordered problem
+  if restarts <= 0 then Sc_place.Placer.ordered problem
+  else Sc_place.Placer.best_of ~seeds:restarts problem
 
-let layout_of_circuit ~name circuit =
+let layout_of_circuit ?restarts ~name circuit =
   let placement, layout =
     Obs.span "place" (fun () ->
-        let pl = place_circuit circuit in
+        let pl = place_circuit ?restarts circuit in
         (pl, Sc_place.Placer.to_layout ~name pl))
   in
   (* The row channels are left at a fixed pitch in the emitted artwork;
@@ -50,7 +51,48 @@ let layout_of_circuit ~name circuit =
         | exception _ -> ());
   layout
 
-let compile_behavior ?(style = Random_logic) src =
+module Result_cache = struct
+  let store : (compiled * Sc_netlist.Circuit.t) Sc_cache.Cache.t option ref =
+    ref None
+
+  let enable ?dir () =
+    store := Some (Sc_cache.Cache.create ?dir ~name:"behavior" ())
+
+  let disable () = store := None
+  let enabled () = Option.is_some !store
+  let stats () = Option.map Sc_cache.Cache.stats !store
+
+  let style_tag = function
+    | Random_logic -> "random_logic"
+    | Pla_control -> "pla_control"
+
+  (* restarts is part of the key: it changes the placement, hence the
+     layout the digest stands for *)
+  let key ~restarts style src =
+    Sc_cache.Cache.digest
+      (style_tag style ^ ":" ^ string_of_int restarts ^ "\x00" ^ src)
+
+  exception Failed of string
+end
+
+let rec compile_behavior ?(style = Random_logic) ?(restarts = 0) src =
+  match !Result_cache.store with
+  | None -> compile_behavior_uncached ~style ~restarts src
+  | Some cache -> (
+    (* errors are not cached: only a successful compilation is content
+       worth addressing, and failures are cheap (they stop at parse) *)
+    match
+      Sc_cache.Cache.find_or_add cache
+        (Result_cache.key ~restarts style src)
+        (fun () ->
+          match compile_behavior_uncached ~style ~restarts src with
+          | Ok r -> r
+          | Error e -> raise (Result_cache.Failed e))
+    with
+    | r -> Ok r
+    | exception Result_cache.Failed e -> Error e)
+
+and compile_behavior_uncached ~style ~restarts src =
   let parsed =
     Obs.span "parse" (fun () ->
         match Sc_rtl.Parser.parse src with
@@ -67,7 +109,8 @@ let compile_behavior ?(style = Random_logic) src =
     | Random_logic ->
       let r = Sc_synth.Synth.gates design in
       let layout =
-        layout_of_circuit ~name:design.Sc_rtl.Ast.name r.Sc_synth.Synth.circuit
+        layout_of_circuit ~restarts ~name:design.Sc_rtl.Ast.name
+          r.Sc_synth.Synth.circuit
       in
       Ok (measure layout, r.Sc_synth.Synth.circuit)
     | Pla_control -> (

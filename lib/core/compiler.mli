@@ -32,18 +32,40 @@ val compile_layout :
   ?entry:string -> ?args:int list -> string -> (compiled, string) result
 
 (** Behavioral path: ISP source to a placed layout of standard cells (or
-    a PLA plus registers).  Also returns the synthesized circuit. *)
+    a PLA plus registers).  Also returns the synthesized circuit.
+    [restarts] is forwarded to {!layout_of_circuit} (multi-start
+    placement; default 0). *)
 val compile_behavior :
   ?style:behavior_style ->
+  ?restarts:int ->
   string ->
   (compiled * Sc_netlist.Circuit.t, string) result
 
 (** Place a gate-level circuit as standard-cell rows (the physical view
-    used by the behavioral path and experiments). *)
-val layout_of_circuit : name:string -> Sc_netlist.Circuit.t -> Cell.t
+    used by the behavioral path and experiments).  [restarts] > 0 runs
+    that many extra random-start placements concurrently on the default
+    worker pool ({!Sc_place.Placer.best_of}) and keeps the lowest-HPWL
+    result; the default 0 is the constructive placement alone. *)
+val layout_of_circuit :
+  ?restarts:int -> name:string -> Sc_netlist.Circuit.t -> Cell.t
 
 (** Emit a cell hierarchy as CIF text ({!Sc_cif.Emit.to_string}). *)
 val to_cif : Cell.t -> string
+
+(** Whole-compilation memoization for the behavioral path.  When
+    enabled, {!compile_behavior} is keyed by the digest of (style,
+    source text): an identical request returns the stored
+    [compiled * circuit] without re-synthesizing.  With [?dir] the
+    store persists across processes ({!Sc_cache.Cache}); failed
+    compilations are never cached.  Disabled by default. *)
+module Result_cache : sig
+  val enable : ?dir:string -> unit -> unit
+  val disable : unit -> unit
+  val enabled : unit -> bool
+
+  (** [None] when disabled. *)
+  val stats : unit -> Sc_cache.Cache.stats option
+end
 
 (** Measure an existing layout the same way the compilers do. *)
 val measure : Cell.t -> compiled

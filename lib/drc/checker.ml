@@ -65,9 +65,31 @@ let sorted_array rs =
   Array.sort (fun r1 r2 -> Int.compare r1.Rect.xmin r2.Rect.xmin) a;
   a
 
-let check_flat flat =
-  let violations = ref [] in
-  let add rule where detail = violations := { rule; where; detail } :: !violations in
+(* first index in the xmin-sorted [arr] with xmin > x (all of [arr] if
+   none) — the exclusive right edge of a sweep window *)
+let upper_bound (arr : Rect.t array) x =
+  let lo = ref 0 and hi = ref (Array.length arr) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if arr.(mid).Rect.xmin <= x then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* split [0, n) into at most [parts] contiguous ranges *)
+let ranges n parts =
+  let parts = max 1 (min parts n) in
+  let per = (n + parts - 1) / parts in
+  List.init parts (fun k -> (k * per, min n ((k + 1) * per)))
+  |> List.filter (fun (lo, hi) -> lo < hi)
+
+(* The deck is decomposed into independent tasks (per rule, per layer,
+   and — for the scan-heavy rules — per contiguous slice of the sorted
+   rectangle array) and run on the worker pool.  Each task accumulates
+   its own violations in scan order; concatenating the task results in
+   submission order reproduces the sequential list exactly, so any [-j]
+   level yields byte-identical reports. *)
+let check_flat ?pool flat =
+  let pool = match pool with Some p -> p | None -> Sc_par.Pool.default () in
   let by_layer = Array.make Layer.count [] in
   List.iter
     (fun (fb : Flatten.flat_box) ->
@@ -75,85 +97,157 @@ let check_flat flat =
         let i = Layer.index fb.layer in
         by_layer.(i) <- fb.rect :: by_layer.(i))
     flat;
-  let layer_rects l = sorted_array by_layer.(Layer.index l) in
-  (* Width. *)
-  List.iter
-    (fun l ->
-      let w = Rules.min_width l in
-      List.iter
-        (fun r ->
-          let narrow = min (Rect.width r) (Rect.height r) in
-          if narrow < w then
-            add (Rules.Min_width (l, w)) r
-              (Printf.sprintf "feature is %d lambda wide" narrow))
-        by_layer.(Layer.index l))
-    Layer.all;
-  (* Same-layer spacing between distinct regions. *)
-  List.iter
-    (fun l ->
-      let s = Rules.min_spacing l in
-      if s > 0 then begin
-        let rects = layer_rects l in
-        let region = group_regions rects in
-        let n = Array.length rects in
-        for i = 0 to n - 1 do
-          let j = ref (i + 1) in
-          while !j < n && rects.(!j).Rect.xmin <= rects.(i).Rect.xmax + s do
-            if region.(i) <> region.(!j) then begin
-              let sep = Rect.separation rects.(i) rects.(!j) in
-              if sep < s then
-                add
-                  (Rules.Min_spacing (l, l, s))
-                  rects.(i)
-                  (Printf.sprintf "to %s: %d < %d" (Rect.to_string rects.(!j)) sep s)
-            end;
-            incr j
-          done
-        done
-      end)
-    Layer.all;
+  let sorted = Array.map sorted_array by_layer in
+  let layer_rects l = sorted.(Layer.index l) in
+  let shards n = ranges n (4 * Sc_par.Pool.size pool) in
+  let collect f =
+    let violations = ref [] in
+    let add rule where detail =
+      violations := { rule; where; detail } :: !violations
+    in
+    f add;
+    List.rev !violations
+  in
+  (* Width: one task per layer. *)
+  let width_tasks =
+    List.map
+      (fun l () ->
+        collect (fun add ->
+            let w = Rules.min_width l in
+            List.iter
+              (fun r ->
+                let narrow = min (Rect.width r) (Rect.height r) in
+                if narrow < w then
+                  add (Rules.Min_width (l, w)) r
+                    (Printf.sprintf "feature is %d lambda wide" narrow))
+              by_layer.(Layer.index l)))
+      Layer.all
+  in
+  (* Same-layer spacing between distinct regions: one task per layer
+     (region grouping needs the whole layer). *)
+  let spacing_tasks =
+    List.filter_map
+      (fun l ->
+        let s = Rules.min_spacing l in
+        if s > 0 then
+          Some
+            (fun () ->
+              collect (fun add ->
+                  let rects = layer_rects l in
+                  let region = group_regions rects in
+                  let n = Array.length rects in
+                  for i = 0 to n - 1 do
+                    let j = ref (i + 1) in
+                    while
+                      !j < n && rects.(!j).Rect.xmin <= rects.(i).Rect.xmax + s
+                    do
+                      if region.(i) <> region.(!j) then begin
+                        let sep = Rect.separation rects.(i) rects.(!j) in
+                        if sep < s then
+                          add
+                            (Rules.Min_spacing (l, l, s))
+                            rects.(i)
+                            (Printf.sprintf "to %s: %d < %d"
+                               (Rect.to_string rects.(!j))
+                               sep s)
+                      end;
+                      incr j
+                    done
+                  done))
+        else None)
+      Layer.all
+  in
   (* Cross-layer spacing; overlapping or abutting shapes are related
-     (transistors, butting contacts) and exempt. *)
-  List.iter
-    (fun (la, lb) ->
-      let s = Rules.cross_spacing la lb in
-      if s > 0 && not (Layer.equal la lb) then begin
-        let ra = layer_rects la and rb = layer_rects lb in
-        Array.iter
-          (fun a ->
-            Array.iter
-              (fun b ->
-                let sep = Rect.separation a b in
-                if (not (Rect.overlaps a b)) && sep < s then
-                  add (Rules.Min_spacing (la, lb, s)) a
-                    (Printf.sprintf "to %s on %s: %d < %d" (Rect.to_string b)
-                       (Layer.to_string lb) sep s))
-              rb)
-          ra
-      end)
-    [ (Layer.Poly, Layer.Diffusion) ];
-  (* Enclosure. *)
-  List.iter
-    (fun (inner, outer) ->
-      let m = Rules.enclosure ~inner ~outer in
-      if m > 0 then begin
-        let outers = by_layer.(Layer.index outer) in
-        List.iter
-          (fun r ->
-            if not (covered (Rect.inflate m r) outers) then
-              add
-                (Rules.Min_enclosure (inner, outer, m))
-                r
-                (Printf.sprintf "not enclosed by %s with margin %d"
-                   (Layer.to_string outer) m))
-          by_layer.(Layer.index inner)
-      end)
-    [ (Layer.Contact, Layer.Metal); (Layer.Glass, Layer.Metal) ];
-  List.rev !violations
+     (transistors, butting contacts) and exempt.  Both layers merge into
+     one xmin-sorted array and a single sweep visits exactly the pairs
+     whose x-gap can be below [s] — the same window argument
+     [group_regions] relies on: every pair is reached from its
+     smaller-xmin member.  Sliced into index ranges across the pool. *)
+  let cross_tasks =
+    List.concat_map
+      (fun (la, lb) ->
+        let s = Rules.cross_spacing la lb in
+        if s > 0 && not (Layer.equal la lb) then begin
+          let ra = layer_rects la and rb = layer_rects lb in
+          let merged =
+            Array.append
+              (Array.map (fun r -> (r, true)) ra)
+              (Array.map (fun r -> (r, false)) rb)
+          in
+          Array.sort
+            (fun (r1, t1) (r2, t2) ->
+              match Int.compare r1.Rect.xmin r2.Rect.xmin with
+              | 0 -> compare (t1, r1) (t2, r2)
+              | c -> c)
+            merged;
+          let n = Array.length merged in
+          List.map
+            (fun (lo, hi) () ->
+              collect (fun add ->
+                  for i = lo to hi - 1 do
+                    let ri, ti = merged.(i) in
+                    let j = ref (i + 1) in
+                    while
+                      !j < n && (fst merged.(!j)).Rect.xmin <= ri.Rect.xmax + s
+                    do
+                      let rj, tj = merged.(!j) in
+                      if ti <> tj then begin
+                        let a, b = if ti then (ri, rj) else (rj, ri) in
+                        let sep = Rect.separation a b in
+                        if (not (Rect.overlaps a b)) && sep < s then
+                          add (Rules.Min_spacing (la, lb, s)) a
+                            (Printf.sprintf "to %s on %s: %d < %d"
+                               (Rect.to_string b) (Layer.to_string lb) sep s)
+                      end;
+                      incr j
+                    done
+                  done))
+            (shards n)
+        end
+        else [])
+      [ (Layer.Poly, Layer.Diffusion) ]
+  in
+  (* Enclosure: candidate covers for each inner rectangle are narrowed
+     by binary search on the sorted outer array before the recursive
+     cover test; sliced across the pool. *)
+  let enclosure_tasks =
+    List.concat_map
+      (fun (inner, outer) ->
+        let m = Rules.enclosure ~inner ~outer in
+        if m > 0 then begin
+          let inners = layer_rects inner in
+          let outers = layer_rects outer in
+          List.map
+            (fun (lo, hi) () ->
+              collect (fun add ->
+                  for i = lo to hi - 1 do
+                    let r = inners.(i) in
+                    let target = Rect.inflate m r in
+                    let right = upper_bound outers target.Rect.xmax in
+                    let candidates = ref [] in
+                    for j = right - 1 downto 0 do
+                      if outers.(j).Rect.xmax >= target.Rect.xmin then
+                        candidates := outers.(j) :: !candidates
+                    done;
+                    if not (covered target !candidates) then
+                      add
+                        (Rules.Min_enclosure (inner, outer, m))
+                        r
+                        (Printf.sprintf "not enclosed by %s with margin %d"
+                           (Layer.to_string outer) m)
+                  done))
+            (shards (Array.length inners))
+        end
+        else [])
+      [ (Layer.Contact, Layer.Metal); (Layer.Glass, Layer.Metal) ]
+  in
+  Sc_par.Pool.run ~label:"drc.shard" pool
+    (width_tasks @ spacing_tasks @ cross_tasks @ enclosure_tasks)
+  |> List.concat
 
-let check cell =
+let check ?pool cell =
   Sc_obs.Obs.span "drc" @@ fun () ->
-  let vs = check_flat (Flatten.run cell) in
+  let vs = check_flat ?pool (Flatten.run cell) in
   Sc_obs.Obs.count "drc.violations" (List.length vs);
   vs
 

@@ -14,7 +14,15 @@
       overlap is still flagged);
     - enclosure (contact cuts inside metal, glass inside pad metal).
 
-    Checking is O(n log n + k) by plane-sweep over x with an active set. *)
+    Checking is O(n log n + k) by plane-sweep over x with an active set;
+    every rule — including cross-layer spacing, which sweeps a merged
+    xmin-sorted array of both layers — visits only window neighbours.
+
+    The deck decomposes into independent tasks (per rule, per layer, per
+    slice of the sorted rectangle array) executed on an {!Sc_par.Pool}
+    — the process default unless [?pool] is given.  Task results are
+    concatenated in submission order, so the violation list is identical
+    at every pool size. *)
 
 open Sc_geom
 open Sc_tech
@@ -26,10 +34,10 @@ type violation =
   ; detail : string
   }
 
-val check : Cell.t -> violation list
+val check : ?pool:Sc_par.Pool.t -> Cell.t -> violation list
 
 (** [check_flat boxes] runs the deck on already flattened geometry. *)
-val check_flat : Flatten.flat_box list -> violation list
+val check_flat : ?pool:Sc_par.Pool.t -> Flatten.flat_box list -> violation list
 
 val is_clean : Cell.t -> bool
 

@@ -47,6 +47,20 @@ val check :
   ?man:Bdd.man -> ?order:Miter.order -> ?k:int -> Circuit.t -> Circuit.t ->
   verdict
 
+(** [check_cones ?pool ?order ?k a b] — same verdict contract as
+    {!check}, computed one output-port cone at a time
+    ({!Miter.cone_outputs}), each cone with a fresh BDD manager, run
+    concurrently on [pool] (default {!Sc_par.Pool.default}).  Every
+    manager allocates variables from the same shared input order, so
+    cones agree on the variable space.  The reported disagreement is the
+    first differing port in declaration order regardless of pool size;
+    the counterexample assignment may differ from {!check}'s (different
+    manager, same distinguishing property).  ["bdd.nodes"] gauges the
+    sum over all cone managers. *)
+val check_cones :
+  ?pool:Sc_par.Pool.t -> ?order:Miter.order -> ?k:int -> Circuit.t ->
+  Circuit.t -> verdict
+
 (** [replay a b cex] — drive both circuits with the counterexample
     through {!Sc_sim.Engine} (registers forced to 0 first) and report
     whether the named output bit really differs at the named cycle:

@@ -67,13 +67,47 @@ let env_of_order man bits =
 
 let env_of ?order man c = env_of_order man (input_order ?order c)
 
-let outputs env c =
+(* [restrict = Some names] evaluates only the fan-in cone of the named
+   output ports — the work unit for per-cone parallel checking *)
+let outputs_gen env c restrict =
   let f, topo = Circuit.comb_topo c in
   if List.exists (fun (g : Circuit.gate_inst) -> Gate.is_sequential g.kind) f.Circuit.gates
   then
     invalid_arg
       ("Miter.outputs: " ^ f.Circuit.cname
      ^ " has flip-flops; unroll it first (Unroll.frames)");
+  let selected =
+    List.filter
+      (fun (p : Circuit.port) ->
+        p.dir = Circuit.Out
+        &&
+        match restrict with
+        | None -> true
+        | Some names -> List.mem p.port_name names)
+      f.Circuit.ports
+  in
+  let keep =
+    match restrict with
+    | None -> fun _ -> true
+    | Some _ ->
+      let driver = Hashtbl.create 256 in
+      List.iter
+        (fun (g : Circuit.gate_inst) -> Hashtbl.replace driver g.out g)
+        f.Circuit.gates;
+      let needed = Array.make f.Circuit.net_count false in
+      let rec need n =
+        if not needed.(n) then begin
+          needed.(n) <- true;
+          match Hashtbl.find_opt driver n with
+          | Some g -> Array.iter need g.Circuit.ins
+          | None -> ()
+        end
+      in
+      List.iter
+        (fun (p : Circuit.port) -> Array.iter need p.bits)
+        selected;
+      fun n -> needed.(n)
+  in
   let m = env.man in
   let vals = Array.make f.Circuit.net_count Bdd.zero in
   vals.(Circuit.true_net) <- Bdd.one;
@@ -93,32 +127,35 @@ let outputs env c =
     f.Circuit.ports;
   List.iter
     (fun (g : Circuit.gate_inst) ->
-      let i k = vals.(g.ins.(k)) in
-      let v =
-        match g.kind with
-        | Gate.Inv -> Bdd.not_ m (i 0)
-        | Gate.Buf -> i 0
-        | Gate.Nand2 -> Bdd.not_ m (Bdd.and_ m (i 0) (i 1))
-        | Gate.Nand3 -> Bdd.not_ m (Bdd.and_ m (i 0) (Bdd.and_ m (i 1) (i 2)))
-        | Gate.Nor2 -> Bdd.not_ m (Bdd.or_ m (i 0) (i 1))
-        | Gate.Nor3 -> Bdd.not_ m (Bdd.or_ m (i 0) (Bdd.or_ m (i 1) (i 2)))
-        | Gate.And2 -> Bdd.and_ m (i 0) (i 1)
-        | Gate.Or2 -> Bdd.or_ m (i 0) (i 1)
-        | Gate.Xor2 -> Bdd.xor m (i 0) (i 1)
-        | Gate.Xnor2 -> Bdd.xnor m (i 0) (i 1)
-        | Gate.Mux2 -> Bdd.ite m (i 2) (i 1) (i 0)
-        | Gate.Const0 -> Bdd.zero
-        | Gate.Const1 -> Bdd.one
-        | Gate.Dff | Gate.Dffe -> assert false
-      in
-      vals.(g.out) <- v)
+      if keep g.out then begin
+        let i k = vals.(g.ins.(k)) in
+        let v =
+          match g.kind with
+          | Gate.Inv -> Bdd.not_ m (i 0)
+          | Gate.Buf -> i 0
+          | Gate.Nand2 -> Bdd.not_ m (Bdd.and_ m (i 0) (i 1))
+          | Gate.Nand3 -> Bdd.not_ m (Bdd.and_ m (i 0) (Bdd.and_ m (i 1) (i 2)))
+          | Gate.Nor2 -> Bdd.not_ m (Bdd.or_ m (i 0) (i 1))
+          | Gate.Nor3 -> Bdd.not_ m (Bdd.or_ m (i 0) (Bdd.or_ m (i 1) (i 2)))
+          | Gate.And2 -> Bdd.and_ m (i 0) (i 1)
+          | Gate.Or2 -> Bdd.or_ m (i 0) (i 1)
+          | Gate.Xor2 -> Bdd.xor m (i 0) (i 1)
+          | Gate.Xnor2 -> Bdd.xnor m (i 0) (i 1)
+          | Gate.Mux2 -> Bdd.ite m (i 2) (i 1) (i 0)
+          | Gate.Const0 -> Bdd.zero
+          | Gate.Const1 -> Bdd.one
+          | Gate.Dff | Gate.Dffe -> assert false
+        in
+        vals.(g.out) <- v
+      end)
     topo;
-  List.filter_map
+  List.map
     (fun (p : Circuit.port) ->
-      if p.dir = Circuit.Out then
-        Some (p.port_name, Array.map (fun n -> vals.(n)) p.bits)
-      else None)
-    f.Circuit.ports
+      (p.Circuit.port_name, Array.map (fun n -> vals.(n)) p.Circuit.bits))
+    selected
+
+let outputs env c = outputs_gen env c None
+let cone_outputs env c names = outputs_gen env c (Some names)
 
 let signature dir c =
   List.sort compare

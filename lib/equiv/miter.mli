@@ -49,6 +49,13 @@ val env_of : ?order:order -> Bdd.man -> Circuit.t -> env
     cycle. *)
 val outputs : env -> Circuit.t -> (string * Bdd.t array) list
 
+(** [cone_outputs env c names] — as {!outputs}, but only the output
+    ports in [names], and only the gates in their fan-in cones are
+    evaluated.  One cone per BDD manager is the work unit for parallel
+    equivalence checking ({!Checker.check_cones}): cones are independent
+    once every manager allocates variables from the same input order. *)
+val cone_outputs : env -> Circuit.t -> string list -> (string * Bdd.t array) list
+
 (** [miter env a b] — OR over all output bits of (a_bit XOR b_bit):
     satisfiable exactly when the circuits disagree somewhere.
     @raise Mismatch on differing port signatures. *)

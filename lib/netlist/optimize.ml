@@ -114,19 +114,25 @@ let simplify c =
               gates.(gi) <- { g with Circuit.kind; ins = ins' };
               changed := true
             | None ->
-              (* 3. CSE *)
-              let ins_key =
-                let l = Array.to_list ins in
-                let l = if commutative g.Circuit.kind then List.sort compare l else l in
-                String.concat "," (List.map string_of_int l)
-              in
-              let key = Gate.to_string g.Circuit.kind ^ ":" ^ ins_key in
-              (match Hashtbl.find_opt cse key with
-              | Some prior when prior <> out -> kill prior
-              | Some _ -> ()
-              | None ->
-                Hashtbl.replace cse key out;
-                if g.Circuit.kind = Gate.Inv then Hashtbl.replace inv_of ins.(0) out);
+              (* 3. CSE — combinational gates only.  Two registers with
+                 the same D input are NOT the same net: they hold
+                 distinct state until the clock edge propagates, so
+                 merging them changes simulation behaviour.  Sequential
+                 gates never enter the table. *)
+              if not (Gate.is_sequential g.Circuit.kind) then begin
+                let ins_key =
+                  let l = Array.to_list ins in
+                  let l = if commutative g.Circuit.kind then List.sort compare l else l in
+                  String.concat "," (List.map string_of_int l)
+                in
+                let key = Gate.to_string g.Circuit.kind ^ ":" ^ ins_key in
+                match Hashtbl.find_opt cse key with
+                | Some prior when prior <> out -> kill prior
+                | Some _ -> ()
+                | None ->
+                  Hashtbl.replace cse key out;
+                  if g.Circuit.kind = Gate.Inv then Hashtbl.replace inv_of ins.(0) out
+              end;
               (* keep the resolved inputs *)
               if ins <> g.Circuit.ins then begin
                 gates.(gi) <- { g with Circuit.ins = ins };

@@ -1,11 +1,19 @@
 (* One global recorder per process.  Everything below the [on] check is
    only reachable when recording, so the disabled cost of a span is one
-   load + branch (plus the closure call the caller already paid for). *)
+   load + branch (plus the closure call the caller already paid for).
+
+   Domain safety: the span stack is domain-local state (Domain.DLS), so
+   spans opened on a worker domain nest within that domain only and a
+   worker's first span is top-level on its own [tid] track.  The
+   completed-event list and the global counters are shared and guarded
+   by one mutex; frame-local counter bumps touch only the domain's own
+   open frame and need no lock. *)
 
 type event =
   { path : string
   ; name : string
   ; depth : int
+  ; tid : int
   ; start_us : float
   ; dur_us : float
   ; self_us : float
@@ -24,16 +32,24 @@ type frame =
 let on = ref false
 let clock = ref Unix.gettimeofday
 let epoch = ref 0.0
-let stack : frame list ref = ref []
+
+let stack_key : frame list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let stack () = Domain.DLS.get stack_key
+
+let lock = Mutex.create ()
+let locked f = Mutex.protect lock f
 let finished : event list ref = ref [] (* reverse completion order *)
 let globals : (string, int) Hashtbl.t = Hashtbl.create 32
 
 let enabled () = !on
 
 let reset () =
-  stack := [];
-  finished := [];
-  Hashtbl.reset globals;
+  (stack ()) := [];
+  locked (fun () ->
+      finished := [];
+      Hashtbl.reset globals);
   epoch := !clock ()
 
 let enable () =
@@ -47,6 +63,7 @@ let set_clock f = clock := f
 let span name f =
   if not !on then f ()
   else begin
+    let stack = stack () in
     let parent = match !stack with [] -> None | p :: _ -> Some p in
     let fpath =
       match parent with None -> name | Some p -> p.fpath ^ "." ^ name
@@ -66,16 +83,18 @@ let span name f =
       (match !stack with
       | p :: _ -> p.fchildren <- p.fchildren +. dur
       | [] -> ());
-      finished :=
+      let e =
         { path = fr.fpath
         ; name = fr.fname
         ; depth = fr.fdepth
+        ; tid = (Domain.self () :> int)
         ; start_us = (fr.fstart -. !epoch) *. 1e6
         ; dur_us = dur *. 1e6
         ; self_us = (dur -. fr.fchildren) *. 1e6
         ; counters = List.rev fr.fcounters
         }
-        :: !finished
+      in
+      locked (fun () -> finished := e :: !finished)
     in
     match f () with
     | r ->
@@ -96,28 +115,33 @@ let bump_frame fr name v ~add =
   | None -> fr.fcounters <- (name, v) :: fr.fcounters
 
 let bump_global name v ~add =
-  let old = try Hashtbl.find globals name with Not_found -> 0 in
-  Hashtbl.replace globals name (if add then old + v else v)
+  locked (fun () ->
+      let old = try Hashtbl.find globals name with Not_found -> 0 in
+      Hashtbl.replace globals name (if add then old + v else v))
 
 let count name n =
   if !on then begin
-    (match !stack with fr :: _ -> bump_frame fr name n ~add:true | [] -> ());
+    (match !(stack ()) with
+    | fr :: _ -> bump_frame fr name n ~add:true
+    | [] -> ());
     bump_global name n ~add:true
   end
 
 let gauge name v =
   if !on then begin
-    (match !stack with fr :: _ -> bump_frame fr name v ~add:false | [] -> ());
+    (match !(stack ()) with
+    | fr :: _ -> bump_frame fr name v ~add:false
+    | [] -> ());
     bump_global name v ~add:false
   end
 
 let events () =
   List.sort
     (fun a b -> Float.compare a.start_us b.start_us)
-    (List.rev !finished)
+    (locked (fun () -> List.rev !finished))
 
 let totals () =
-  Hashtbl.fold (fun k v acc -> (k, v) :: acc) globals []
+  locked (fun () -> Hashtbl.fold (fun k v acc -> (k, v) :: acc) globals [])
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 (* --- per-stage aggregation --- *)
@@ -207,7 +231,7 @@ let chrome_trace () =
           ; ("ts", Json.Num e.start_us)
           ; ("dur", Json.Num e.dur_us)
           ; ("pid", Json.Num 1.0)
-          ; ("tid", Json.Num 1.0)
+          ; ("tid", Json.Num (float_of_int (e.tid + 1)))
           ]
         in
         Json.Obj

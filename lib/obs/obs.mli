@@ -18,6 +18,12 @@
     dot-joined ancestry (["place"] inside nothing, ["route.channel"]
     for a channel routed during the route stage).
 
+    The recorder is domain-safe: the span stack is domain-local, so
+    spans opened on an [Sc_par] worker domain nest within that domain
+    and carry its {!event.tid}; the Chrome trace shows one track per
+    domain.  Completed events and global counters are shared under a
+    mutex.
+
     Two sinks:
 
     - {!pp_summary} / {!stage_table}: one row per distinct span path —
@@ -72,6 +78,7 @@ type event =
   { path : string  (** dot-joined ancestry, e.g. ["place"] or ["route.channel"] *)
   ; name : string  (** the name passed to {!span} *)
   ; depth : int  (** 0 = top level *)
+  ; tid : int  (** id of the domain that recorded the span (0 = main) *)
   ; start_us : float  (** microseconds since the epoch ({!reset}) *)
   ; dur_us : float
   ; self_us : float  (** [dur_us] minus time spent in child spans *)

@@ -1,0 +1,160 @@
+(* The queue holds erased thunks; each [run] allocates its own result
+   slots and completion counter, so several runs could in principle be
+   in flight (they are not, today: the caller of [run] blocks until its
+   batch settles, helping with the work meanwhile). *)
+
+type t =
+  { pool_size : int
+  ; lock : Mutex.t
+  ; work : Condition.t  (* queue non-empty, or stopping *)
+  ; settled : Condition.t  (* some batch finished a task *)
+  ; queue : (unit -> unit) Queue.t
+  ; mutable stopping : bool
+  ; mutable workers : unit Domain.t list
+  }
+
+let size t = t.pool_size
+
+let recommended_domains () = min 8 (Domain.recommended_domain_count ())
+
+(* take one task if available; runs it outside the lock *)
+let try_step t =
+  Mutex.lock t.lock;
+  let task = Queue.take_opt t.queue in
+  Mutex.unlock t.lock;
+  match task with
+  | Some f ->
+    f ();
+    true
+  | None -> false
+
+let worker_loop t () =
+  let rec loop () =
+    Mutex.lock t.lock;
+    while Queue.is_empty t.queue && not t.stopping do
+      Condition.wait t.work t.lock
+    done;
+    let task = Queue.take_opt t.queue in
+    Mutex.unlock t.lock;
+    match task with
+    | Some f ->
+      f ();
+      loop ()
+    | None -> () (* stopping and drained *)
+  in
+  loop ()
+
+let create ?domains () =
+  let pool_size =
+    match domains with
+    | Some n -> max 1 n
+    | None -> recommended_domains ()
+  in
+  let t =
+    { pool_size
+    ; lock = Mutex.create ()
+    ; work = Condition.create ()
+    ; settled = Condition.create ()
+    ; queue = Queue.create ()
+    ; stopping = false
+    ; workers = []
+    }
+  in
+  t.workers <- List.init (pool_size - 1) (fun _ -> Domain.spawn (worker_loop t));
+  t
+
+let shutdown t =
+  Mutex.lock t.lock;
+  t.stopping <- true;
+  Condition.broadcast t.work;
+  Mutex.unlock t.lock;
+  List.iter Domain.join t.workers;
+  t.workers <- []
+
+(* completed task i on behalf of [run]: record, count down, wake caller *)
+type 'a slot =
+  | Pending
+  | Done of 'a
+  | Raised of exn
+
+let run ?(label = "par.task") t thunks =
+  let thunks = Array.of_list thunks in
+  let n = Array.length thunks in
+  let obs = Sc_obs.Obs.enabled () in
+  let exec f = if obs then Sc_obs.Obs.span label f else f () in
+  if t.pool_size <= 1 || n <= 1 then
+    (* sequential path: no queueing, natural exception propagation *)
+    Array.to_list (Array.map (fun f -> exec f) thunks)
+  else begin
+    let slots = Array.make n Pending in
+    let remaining = ref n in
+    let task i () =
+      (slots.(i) <-
+        (match exec thunks.(i) with
+        | v -> Done v
+        | exception e -> Raised e));
+      Mutex.lock t.lock;
+      decr remaining;
+      if !remaining = 0 then Condition.broadcast t.settled;
+      Mutex.unlock t.lock
+    in
+    Mutex.lock t.lock;
+    for i = 0 to n - 1 do
+      Queue.add (task i) t.queue
+    done;
+    Condition.broadcast t.work;
+    Mutex.unlock t.lock;
+    (* the caller works the queue too, then waits for stragglers *)
+    while try_step t do
+      ()
+    done;
+    Mutex.lock t.lock;
+    while !remaining > 0 do
+      Condition.wait t.settled t.lock
+    done;
+    Mutex.unlock t.lock;
+    if obs then Sc_obs.Obs.count (label ^ ".tasks") n;
+    Array.to_list
+      (Array.map
+         (function
+           | Done v -> v
+           | Raised e -> raise e
+           | Pending -> assert false)
+         slots)
+  end
+
+let map_list ?label t f xs = run ?label t (List.map (fun x () -> f x) xs)
+
+let map_array ?label t f xs =
+  Array.of_list (run ?label t (Array.to_list (Array.map (fun x () -> f x) xs)))
+
+(* --- the process-default pool --- *)
+
+let wanted = ref 1
+let current : t option ref = ref None
+
+let default_size () = !wanted
+
+let drop_current () =
+  match !current with
+  | Some p ->
+    current := None;
+    shutdown p
+  | None -> ()
+
+let () = at_exit drop_current
+
+let set_default_size n =
+  let n = max 1 n in
+  if n <> !wanted then begin
+    wanted := n;
+    drop_current ()
+  end
+
+let default () =
+  match !current with
+  | Some p -> p
+  | None ->
+    let p = create ~domains:!wanted () in
+    current := Some p;
+    p

@@ -24,9 +24,15 @@ let problem_of_circuit c =
   in
   let names = Array.map (fun g -> g.Circuit.gname) gates in
   let by_net = Hashtbl.create 64 in
+  (* dedup with a (net, item) set: [List.mem] on the accumulated list is
+     O(fanout) per endpoint, quadratic on high-fanout nets like clocks *)
+  let seen = Hashtbl.create 256 in
   let touch net item =
-    let cur = try Hashtbl.find by_net net with Not_found -> [] in
-    if not (List.mem item cur) then Hashtbl.replace by_net net (item :: cur)
+    if not (Hashtbl.mem seen (net, item)) then begin
+      Hashtbl.add seen (net, item) ();
+      let cur = try Hashtbl.find by_net net with Not_found -> [] in
+      Hashtbl.replace by_net net (item :: cur)
+    end
   in
   Array.iteri
     (fun idx g ->
@@ -132,13 +138,43 @@ let hpwl pl =
       acc + (max_a xs - min_a xs) + (max_a ys - min_a ys))
     0 pl.problem.nets
 
-let improve ?(iters = 2000) pl =
+(* Swap descent with incremental cost: each item knows its nets, each
+   net caches its half-perimeter, and a candidate swap re-prices only
+   the nets touching the two items.  The RNG stream and the acceptance
+   rule (delta <= 0 is exactly the old [c <= cost]) are unchanged, so
+   the walk — and the resulting placement — is identical to the full
+   recompute it replaces, at O(affected nets) instead of O(all nets)
+   per candidate. *)
+let improve_cost ?(iters = 2000) pl =
   let n = Array.length pl.problem.kinds in
-  if n < 2 then pl
+  if n < 2 then (pl, hpwl pl)
   else begin
     let x = Array.copy pl.x and row = Array.copy pl.row in
-    let current = ref { pl with x; row } in
-    let cost = ref (hpwl !current) in
+    let current = { pl with x; row } in
+    let nets = pl.problem.nets in
+    let nnets = Array.length nets in
+    let member = Array.make n [] in
+    Array.iteri
+      (fun ni net -> Array.iter (fun i -> member.(i) <- ni :: member.(i)) net)
+      nets;
+    let cost_of_net ni =
+      let xmin = ref max_int and xmax = ref min_int in
+      let ymin = ref max_int and ymax = ref min_int in
+      Array.iter
+        (fun i ->
+          let cx, cy = item_center current i in
+          if cx < !xmin then xmin := cx;
+          if cx > !xmax then xmax := cx;
+          if cy < !ymin then ymin := cy;
+          if cy > !ymax then ymax := cy)
+        nets.(ni);
+      !xmax - !xmin + (!ymax - !ymin)
+    in
+    let net_cost = Array.init nnets cost_of_net in
+    let cost = ref (Array.fold_left ( + ) 0 net_cost) in
+    (* per-candidate scratch: stamp dedups the two items' net lists *)
+    let stamp = Array.make nnets (-1) in
+    let epoch = ref 0 in
     let rng = Random.State.make [| 7 |] in
     for _ = 1 to iters do
       let i = Random.State.int rng n and j = Random.State.int rng n in
@@ -149,8 +185,29 @@ let improve ?(iters = 2000) pl =
         row.(i) <- row.(j);
         x.(j) <- xi;
         row.(j) <- ri;
-        let c = hpwl !current in
-        if c <= !cost then cost := c
+        incr epoch;
+        let affected = ref [] in
+        let note ni =
+          if stamp.(ni) <> !epoch then begin
+            stamp.(ni) <- !epoch;
+            affected := ni :: !affected
+          end
+        in
+        List.iter note member.(i);
+        List.iter note member.(j);
+        let delta = ref 0 in
+        let repriced =
+          List.map
+            (fun ni ->
+              let c = cost_of_net ni in
+              delta := !delta + c - net_cost.(ni);
+              (ni, c))
+            !affected
+        in
+        if !delta <= 0 then begin
+          cost := !cost + !delta;
+          List.iter (fun (ni, c) -> net_cost.(ni) <- c) repriced
+        end
         else begin
           let xi = x.(i) and ri = row.(i) in
           x.(i) <- x.(j);
@@ -160,8 +217,27 @@ let improve ?(iters = 2000) pl =
         end
       end
     done;
-    !current
+    (current, !cost)
   end
+
+let improve ?iters pl = fst (improve_cost ?iters pl)
+
+let best_of ?pool ?(seeds = 4) ?iters ?nrows p =
+  let pool = match pool with Some q -> q | None -> Sc_par.Pool.default () in
+  let starts =
+    (fun () -> improve_cost ?iters (ordered ?nrows p))
+    :: List.init seeds (fun k () ->
+           improve_cost ?iters (random ~seed:(100 + k) ?nrows p))
+  in
+  let results = Sc_par.Pool.run ~label:"place.restart" pool starts in
+  match results with
+  | [] -> assert false
+  | first :: rest ->
+    (* strict < keeps the earliest start on ties, independent of pool size *)
+    fst
+      (List.fold_left
+         (fun (bp, bc) (cp, cc) -> if cc < bc then (cp, cc) else (bp, bc))
+         first rest)
 
 let to_layout ?(channel = 30) ~name pl =
   let open Sc_geom in

@@ -38,8 +38,24 @@ val random : ?seed:int -> ?nrows:int -> problem -> placement
 (** Constructive placement: barycentre-ordered items folded into rows. *)
 val ordered : ?nrows:int -> problem -> placement
 
-(** [improve ?iters placement] — greedy pairwise-swap descent on HPWL. *)
+(** [improve ?iters placement] — greedy pairwise-swap descent on HPWL.
+    Candidate swaps are priced incrementally (only the nets touching the
+    two swapped items are re-measured), but the walk is identical to a
+    full-recompute descent: same RNG stream, same acceptances. *)
 val improve : ?iters:int -> placement -> placement
+
+(** [improve_cost ?iters placement] — as {!improve}, also returning the
+    final HPWL (always equal to [hpwl] of the returned placement). *)
+val improve_cost : ?iters:int -> placement -> placement * int
+
+(** [best_of ?pool ?seeds ?iters ?nrows p] — multi-start placement: the
+    constructive {!ordered} start plus [seeds] (default 4) {!random}
+    restarts, each refined by {!improve}, run concurrently on [pool]
+    (default {!Sc_par.Pool.default}).  Returns the placement with the
+    lowest HPWL; ties keep the earliest start, so the result does not
+    depend on the pool size. *)
+val best_of :
+  ?pool:Sc_par.Pool.t -> ?seeds:int -> ?iters:int -> ?nrows:int -> problem -> placement
 
 (** Half-perimeter wire length over all nets, cell centres as pins. *)
 val hpwl : placement -> int

@@ -56,14 +56,10 @@ let validate spec =
   check_side spec.top "top";
   check_side spec.bottom "bottom"
 
+(* segment ids are placeholders here; [route] renumbers every segment
+   with its own channel-wide counter *)
 let segments_of_net ~dogleg net pins =
   let pins = List.sort (fun (x, _) (y, _) -> Int.compare x y) pins in
-  let fresh =
-    let k = ref 0 in
-    fun () ->
-      incr k;
-      !k
-  in
   match pins with
   | [] | [ _ ] -> []
   | _ when not dogleg ->
@@ -72,13 +68,13 @@ let segments_of_net ~dogleg net pins =
       ; x0 = List.fold_left min max_int xs
       ; x1 = List.fold_left max min_int xs
       ; pins
-      ; id = fresh ()
+      ; id = 0
       }
     ]
   | _ ->
     let rec pairs = function
       | (xa, sa) :: ((xb, sb) :: _ as rest) ->
-        { net; x0 = xa; x1 = xb; pins = [ (xa, sa); (xb, sb) ]; id = fresh () }
+        { net; x0 = xa; x1 = xb; pins = [ (xa, sa); (xb, sb) ]; id = 0 }
         :: pairs rest
       | [ _ ] | [] -> []
     in

@@ -36,7 +36,13 @@ type routed =
 exception Unroutable of string
 
 (** @raise Unroutable when the vertical constraint graph is cyclic and
-    doglegs are disabled or cannot break the cycle. *)
+    doglegs are disabled or cannot break the cycle.
+
+    The whole routing runs inside an {!Sc_obs.Obs.span} named
+    ["channel"]: if [Unroutable] (or [Invalid_argument] from pin
+    validation) is raised, the span is still closed and recorded —
+    [Obs.span] re-raises after finishing the frame — so traces show the
+    aborted attempt and the exception reaches the caller unchanged. *)
 val route : ?dogleg:bool -> spec -> routed
 
 (** [river ~width pairs] — order-preserving two-row connection: pair

@@ -48,27 +48,39 @@ let rec build_layout kind =
       ; Cell.box Sc_tech.Layer.Metal (Sc_geom.Rect.make 0 37 4 40)
       ]
 
-let cache : (Gate.kind, cell) Hashtbl.t = Hashtbl.create 16
+(* Domain-safe (placement restarts characterize cells from pool
+   workers); the kind name is the key — cell generators are
+   deterministic per kind. *)
+let cells : cell Sc_cache.Cache.t =
+  Sc_cache.Cache.create ~capacity:64 ~name:"stdcell" ()
 
 let get kind =
-  match Hashtbl.find_opt cache kind with
-  | Some c -> c
-  | None ->
-    let layout = build_layout kind in
-    let c =
-      { kind
-      ; layout
-      ; area = Cell.area layout
-      ; width = Cell.width layout
-      ; height = Cell.height layout
-      ; transistors = Gate.transistors kind
-      ; delay = Gate.delay kind
-      }
-    in
-    Hashtbl.add cache kind c;
-    c
+  Sc_cache.Cache.find_or_add cells (Gate.to_string kind) @@ fun () ->
+  let layout = build_layout kind in
+  { kind
+  ; layout
+  ; area = Cell.area layout
+  ; width = Cell.width layout
+  ; height = Cell.height layout
+  ; transistors = Gate.transistors kind
+  ; delay = Gate.delay kind
+  }
 
 let layout_of kind = (get kind).layout
+
+(* Per-cell DRC, content-addressed: the key is the digest of the
+   flattened geometry, not the kind, so editing a generator invalidates
+   exactly the layouts whose artwork changed. *)
+let cell_drc : int Sc_cache.Cache.t =
+  Sc_cache.Cache.create ~capacity:64 ~name:"celldrc" ()
+
+let drc_violations kind =
+  let flat = Flatten.run (layout_of kind) in
+  let key = Sc_cache.Cache.digest (Marshal.to_string flat []) in
+  Sc_cache.Cache.find_or_add cell_drc key (fun () ->
+      List.length (Sc_drc.Checker.check_flat flat))
+
+let drc_clean kind = drc_violations kind = 0
 
 let all () = List.map get Gate.all
 

@@ -24,10 +24,20 @@ type cell =
   ; delay : int
   }
 
-(** Memoized; all cells share one layout definition per kind. *)
+(** Memoized (domain-safe, {!Sc_cache.Cache}); all cells share one
+    layout definition per kind. *)
 val get : Gate.kind -> cell
 
 val layout_of : Gate.kind -> Cell.t
+
+(** [drc_violations kind] — design-rule violation count of the cell's
+    layout, memoized content-addressed: keyed by the digest of the
+    flattened geometry, so a changed generator re-checks only the kinds
+    whose artwork actually changed. *)
+val drc_violations : Gate.kind -> int
+
+(** [drc_clean kind] = [drc_violations kind = 0]. *)
+val drc_clean : Gate.kind -> bool
 
 val all : unit -> cell list
 

@@ -1,0 +1,117 @@
+(* The content-addressed memo store: LRU accounting, disk persistence,
+   and the whole-compilation result cache wired into the compiler. *)
+
+open Sc_cache
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let k name = Cache.digest name
+
+let test_digest_stable () =
+  Alcotest.(check string) "md5 hex" "900150983cd24fb0d6963f7d28e17f72"
+    (Cache.digest "abc");
+  check_bool "distinct contents, distinct keys" true
+    (Cache.digest "abc" <> Cache.digest "abd")
+
+let test_lru_eviction_and_stats () =
+  let c : int Cache.t = Cache.create ~capacity:2 ~name:"t" () in
+  check_int "k1 computed" 1 (Cache.find_or_add c (k "k1") (fun () -> 1));
+  check_int "k2 computed" 2 (Cache.find_or_add c (k "k2") (fun () -> 2));
+  (* refresh k1 so k2 is the least recently used *)
+  check_int "k1 hit" 1 (Cache.find_or_add c (k "k1") (fun () -> 99));
+  check_int "k3 computed, evicting k2" 3
+    (Cache.find_or_add c (k "k3") (fun () -> 3));
+  check_bool "k2 evicted" true (Cache.find c (k "k2") = None);
+  check_bool "k1 survives (was refreshed)" true (Cache.find c (k "k1") = Some 1);
+  let s = Cache.stats c in
+  check_int "entries" 2 s.Cache.entries;
+  check_int "evictions" 1 s.Cache.evictions;
+  (* hits: the k1 refresh + the two find probes that returned a value *)
+  check_int "hits" 2 s.Cache.hits;
+  check_int "misses" 3 s.Cache.misses;
+  Cache.clear c;
+  let s = Cache.stats c in
+  check_int "cleared entries" 0 s.Cache.entries;
+  check_int "cleared hits" 0 s.Cache.hits
+
+let test_capacity_clamped () =
+  let c : int Cache.t = Cache.create ~capacity:0 ~name:"t" () in
+  check_bool "capacity at least 1" true ((Cache.stats c).Cache.capacity >= 1)
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "scc-cache-test" "" in
+  Sys.remove dir;
+  Fun.protect
+    ~finally:(fun () ->
+      if Sys.file_exists dir then begin
+        Array.iter
+          (fun f -> Sys.remove (Filename.concat dir f))
+          (Sys.readdir dir);
+        Sys.rmdir dir
+      end)
+    (fun () -> f dir)
+
+let test_disk_persistence () =
+  with_temp_dir @@ fun dir ->
+  let c1 : int Cache.t = Cache.create ~dir ~name:"d" () in
+  check_int "computed once" 42 (Cache.find_or_add c1 (k "pdp8") (fun () -> 42));
+  (* a fresh store over the same directory serves the key from disk *)
+  let c2 : int Cache.t = Cache.create ~dir ~name:"d" () in
+  let computed = ref false in
+  check_int "served from disk" 42
+    (Cache.find_or_add c2 (k "pdp8")
+       (fun () ->
+         computed := true;
+         0));
+  check_bool "no recomputation" false !computed;
+  check_int "disk hit counted" 1 (Cache.stats c2).Cache.disk_hits;
+  (* remove drops both the memory entry and the disk file *)
+  Cache.remove c2 (k "pdp8");
+  let c3 : int Cache.t = Cache.create ~dir ~name:"d" () in
+  check_int "recomputed after remove" 7
+    (Cache.find_or_add c3 (k "pdp8") (fun () -> 7))
+
+let test_compiler_result_cache () =
+  let module C = Sc_core.Compiler in
+  C.Result_cache.disable ();
+  check_bool "disabled by default" false (C.Result_cache.enabled ());
+  C.Result_cache.enable ();
+  Fun.protect ~finally:C.Result_cache.disable @@ fun () ->
+  let src = Sc_core.Designs.counter_src in
+  let cif r =
+    match r with
+    | Ok (compiled, _) -> compiled.C.cif
+    | Error e -> Alcotest.failf "compile failed: %s" e
+  in
+  let first = cif (C.compile_behavior src) in
+  let second = cif (C.compile_behavior src) in
+  check_bool "identical result" true (String.equal first second);
+  (match C.Result_cache.stats () with
+  | None -> Alcotest.fail "stats expected while enabled"
+  | Some s ->
+    check_int "one compilation" 1 s.Cache.misses;
+    check_int "one hit" 1 s.Cache.hits);
+  (* errors are never cached: the bad source stores nothing, and asking
+     again still reports the error rather than a stale entry *)
+  (match C.compile_behavior "definitely not ISP" with
+  | Ok _ -> Alcotest.fail "expected a parse error"
+  | Error _ -> ());
+  (match C.compile_behavior "definitely not ISP" with
+  | Ok _ -> Alcotest.fail "expected a parse error again"
+  | Error _ -> ());
+  match C.Result_cache.stats () with
+  | None -> Alcotest.fail "stats expected while enabled"
+  | Some s ->
+    check_int "failures not stored" 1 s.Cache.entries;
+    check_int "failures not counted as stored misses" 1 s.Cache.misses
+
+let suite =
+  [ Alcotest.test_case "digest is stable" `Quick test_digest_stable
+  ; Alcotest.test_case "LRU eviction and stats" `Quick
+      test_lru_eviction_and_stats
+  ; Alcotest.test_case "capacity clamped" `Quick test_capacity_clamped
+  ; Alcotest.test_case "disk persistence" `Quick test_disk_persistence
+  ; Alcotest.test_case "compiler result cache" `Quick
+      test_compiler_result_cache
+  ]

@@ -130,6 +130,58 @@ let test_violation_in_instances () =
   let vs = Checker.check c in
   check_bool "cross-instance spacing flagged" true (List.length vs > 0)
 
+let test_wide_rect_not_missed_by_sweep () =
+  (* Regression for the sorted cross-layer sweep: a rectangle whose xmin
+     is far to the left can still reach a partner through its xmax.  A
+     sweep keyed on xmin distances alone would skip this pair; the
+     window must extend to xmax + spacing. *)
+  let c =
+    cell "wide"
+      [ Cell.box Layer.Poly (Rect.make 0 0 40 2)
+      ; Cell.box Layer.Diffusion (Rect.make 38 2 42 6)
+      ]
+  in
+  let vs = Checker.check c in
+  check_bool "wide-rect abutment flagged" true
+    (has_rule vs (function
+      | Rules.Min_spacing (Layer.Poly, Layer.Diffusion, _) -> true
+      | _ -> false));
+  (* same shape, pushed one lambda apart: clean *)
+  let ok =
+    cell "wide_ok"
+      [ Cell.box Layer.Poly (Rect.make 0 0 40 2)
+      ; Cell.box Layer.Diffusion (Rect.make 38 3 42 7)
+      ]
+  in
+  check_bool "spaced version clean" true (Checker.is_clean ok)
+
+let test_wide_outer_still_encloses () =
+  (* Same concern on the enclosure pass: the covering metal starts far
+     left of the contact but still encloses it. *)
+  let c =
+    cell "wide_cover"
+      [ Cell.box Layer.Contact (Rect.make 30 1 32 3)
+      ; Cell.box Layer.Metal (Rect.make 0 0 40 4)
+      ]
+  in
+  check_bool "wide metal accepted as cover" true (Checker.is_clean c)
+
+let test_pdp8_drc_time_budget () =
+  (* The all-pairs deck took ~2.7 s of CPU on the pdp8 layout; the
+     sorted sweep takes ~0.5 s.  Budget at 10x the observed sweep time
+     so the test only trips if the quadratic behaviour comes back. *)
+  let d = Sc_core.Designs.parse Sc_core.Designs.pdp8_src in
+  let r = Sc_synth.Synth.gates d in
+  let layout =
+    Sc_core.Compiler.layout_of_circuit ~name:"pdp8" r.Sc_synth.Synth.circuit
+  in
+  let flat = Flatten.run layout in
+  let t0 = Sys.time () in
+  let vs = Checker.check_flat flat in
+  let dt = Sys.time () -. t0 in
+  check_int "pdp8 layout is DRC clean" 0 (List.length vs);
+  check_bool (Printf.sprintf "DRC under budget (%.2fs cpu)" dt) true (dt < 5.0)
+
 (* property: inflating every metal rect's position apart by >= spacing keeps
    layouts clean on the metal rules *)
 let prop_spaced_metal_clean =
@@ -162,5 +214,10 @@ let suite =
   ; Alcotest.test_case "contact enclosure" `Quick test_contact_enclosure
   ; Alcotest.test_case "enclosure by union of rects" `Quick test_enclosure_by_union
   ; Alcotest.test_case "violations across instances" `Quick test_violation_in_instances
+  ; Alcotest.test_case "wide rect not missed by sweep" `Quick
+      test_wide_rect_not_missed_by_sweep
+  ; Alcotest.test_case "wide outer still encloses" `Quick
+      test_wide_outer_still_encloses
+  ; Alcotest.test_case "pdp8 DRC time budget" `Slow test_pdp8_drc_time_budget
   ; prop_spaced_metal_clean
   ]

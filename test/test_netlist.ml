@@ -245,6 +245,22 @@ let test_optimize_cse () =
   (* or(g,g) collapses too: a single and gate remains *)
   check_int "one gate" 1 (List.length c.Circuit.gates)
 
+let test_optimize_no_sequential_cse () =
+  (* Two registers fed by the same D are NOT the same signal: until the
+     clock edge they hold independent state.  CSE must leave both. *)
+  let b = Builder.create "c" in
+  let a = (Builder.input b "a" 1).(0) in
+  let q1 = Builder.dff b a in
+  let q2 = Builder.dff b a in
+  Builder.output b "y1" [| q1 |];
+  Builder.output b "y2" [| q2 |];
+  let c = Optimize.simplify (Builder.finish b) in
+  check_int "both registers survive" 2
+    (List.length
+       (List.filter
+          (fun g -> Gate.is_sequential g.Circuit.kind)
+          c.Circuit.gates))
+
 let test_optimize_removes_dead () =
   let b = Builder.create "c" in
   let a = (Builder.input b "a" 1).(0) in
@@ -333,6 +349,8 @@ let suite =
   ; prop_gate_eval_matches_kind
   ; Alcotest.test_case "optimize folds constants" `Quick test_optimize_folds_constants
   ; Alcotest.test_case "optimize CSE" `Quick test_optimize_cse
+  ; Alcotest.test_case "optimize keeps duplicate registers" `Quick
+      test_optimize_no_sequential_cse
   ; Alcotest.test_case "optimize removes dead gates" `Quick test_optimize_removes_dead
   ; Alcotest.test_case "optimize double inverter" `Quick test_optimize_double_inverter
   ; prop_optimize_preserves_function

@@ -1,0 +1,139 @@
+(* The domain worker pool: ordered reduction, deterministic exception
+   propagation, and — the contract every parallel pipeline stage leans
+   on — byte-identical results at any pool width. *)
+
+open Sc_par
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let with_pool n f =
+  let pool = Pool.create ~domains:n () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) (fun () -> f pool)
+
+let test_map_ordered () =
+  with_pool 4 @@ fun pool ->
+  let xs = List.init 100 Fun.id in
+  Alcotest.(check (list int))
+    "results in submission order"
+    (List.map (fun i -> i * i) xs)
+    (Pool.map_list pool (fun i -> i * i) xs)
+
+let test_sequential_pool () =
+  with_pool 1 @@ fun pool ->
+  check_int "one domain" 1 (Pool.size pool);
+  Alcotest.(check (list int)) "runs in the caller" [ 0; 1; 4; 9 ]
+    (Pool.map_list pool (fun i -> i * i) [ 0; 1; 2; 3 ])
+
+let test_size_clamped () =
+  with_pool 0 @@ fun pool -> check_int "clamped to 1" 1 (Pool.size pool)
+
+let test_empty_batch () =
+  with_pool 4 @@ fun pool ->
+  check_int "empty run" 0 (List.length (Pool.run pool []))
+
+exception Boom of int
+
+let test_earliest_exception_wins () =
+  with_pool 4 @@ fun pool ->
+  let tasks =
+    List.init 40 (fun i () -> if i = 7 || i = 31 then raise (Boom i) else i)
+  in
+  (match Pool.run pool tasks with
+  | _ -> Alcotest.fail "expected Boom"
+  | exception Boom i -> check_int "earliest failing task wins" 7 i);
+  (* a failed batch must not wedge the pool *)
+  Alcotest.(check (list int)) "pool survives the failure" [ 2; 4; 6 ]
+    (Pool.map_list pool (fun i -> 2 * i) [ 1; 2; 3 ])
+
+(* --- byte-identical pipeline stages at any width --- *)
+
+let small_circuit () =
+  let open Sc_netlist in
+  let b = Builder.create "blk" in
+  let xs = Builder.input b "x" 4 in
+  let ys = Builder.input b "y" 4 in
+  let sums, cout = Builder.adder b xs ys in
+  Builder.output b "sum" sums;
+  Builder.output b "co" [| cout |];
+  Builder.finish b
+
+let dirty_cell () =
+  let open Sc_geom in
+  let open Sc_tech in
+  let open Sc_layout in
+  Cell.make ~name:"dirty"
+    [ Cell.box Layer.Poly (Rect.make 0 0 1 10) (* narrow *)
+    ; Cell.box Layer.Metal (Rect.make 0 20 10 23)
+    ; Cell.box Layer.Metal (Rect.make 0 25 10 28) (* too close *)
+    ; Cell.box Layer.Diffusion (Rect.make 20 0 24 4)
+    ; Cell.box Layer.Poly (Rect.make 24 0 28 4) (* abutment *)
+    ; Cell.box Layer.Contact (Rect.make 40 0 42 2)
+    ; Cell.box Layer.Metal (Rect.make 40 0 43 3) (* bad enclosure *)
+    ]
+
+let test_drc_identical_across_widths () =
+  let c = dirty_cell () in
+  let seq = with_pool 1 (fun pool -> Sc_drc.Checker.check ~pool c) in
+  check_bool "the cell is dirty" true (List.length seq > 0);
+  List.iter
+    (fun n ->
+      let par = with_pool n (fun pool -> Sc_drc.Checker.check ~pool c) in
+      check_bool (Printf.sprintf "same violation list at %d domains" n) true
+        (par = seq))
+    [ 2; 4; 8 ]
+
+let test_placement_cif_identical_across_widths () =
+  let p = Sc_place.Placer.problem_of_circuit (small_circuit ()) in
+  let cif n =
+    with_pool n @@ fun pool ->
+    Sc_cif.Emit.to_string
+      (Sc_place.Placer.to_layout ~name:"blk"
+         (Sc_place.Placer.best_of ~pool ~seeds:5 p))
+  in
+  let seq = cif 1 in
+  List.iter
+    (fun n ->
+      check_bool (Printf.sprintf "same CIF at %d domains" n) true
+        (String.equal seq (cif n)))
+    [ 2; 4 ]
+
+let test_equiv_cones_across_widths () =
+  let c = small_circuit () in
+  let o = Sc_netlist.Optimize.simplify c in
+  List.iter
+    (fun n ->
+      with_pool n @@ fun pool ->
+      match Sc_equiv.Checker.check_cones ~pool c o with
+      | Sc_equiv.Checker.Equivalent -> ()
+      | v ->
+        Alcotest.failf "equivalent at %d domains expected, got %a" n
+          Sc_equiv.Checker.pp_verdict v)
+    [ 1; 4 ];
+  (* a real difference reports the same first output port at any width *)
+  let bad = Sc_equiv.Checker.mutate (Sc_netlist.Circuit.flatten c) 0 in
+  let port n =
+    with_pool n @@ fun pool ->
+    match Sc_equiv.Checker.check_cones ~pool c bad with
+    | Sc_equiv.Checker.Not_equivalent cex ->
+      (cex.Sc_equiv.Checker.output, cex.Sc_equiv.Checker.bit)
+    | Sc_equiv.Checker.Equivalent -> Alcotest.fail "mutation missed"
+  in
+  let o1, b1 = port 1 and o4, b4 = port 4 in
+  Alcotest.(check string) "same differing port" o1 o4;
+  check_int "same differing bit" b1 b4
+
+let suite =
+  [ Alcotest.test_case "map keeps submission order" `Quick test_map_ordered
+  ; Alcotest.test_case "size-1 pool is sequential" `Quick test_sequential_pool
+  ; Alcotest.test_case "size clamps to 1" `Quick test_size_clamped
+  ; Alcotest.test_case "empty batch" `Quick test_empty_batch
+  ; Alcotest.test_case "earliest exception wins" `Quick
+      test_earliest_exception_wins
+  ; Alcotest.test_case "DRC identical at any width" `Quick
+      test_drc_identical_across_widths
+  ; Alcotest.test_case "placement CIF identical at any width" `Quick
+      test_placement_cif_identical_across_widths
+  ; Alcotest.test_case "equiv cones identical at any width" `Quick
+      test_equiv_cones_across_widths
+  ]

@@ -58,6 +58,44 @@ let test_improve_monotone () =
   check_bool "improve does not worsen" true
     (Sc_place.Placer.hpwl better <= Sc_place.Placer.hpwl pl)
 
+let test_improve_cost_matches_hpwl () =
+  let p = Sc_place.Placer.problem_of_circuit (sample_circuit ()) in
+  let pl = Sc_place.Placer.random ~seed:3 p in
+  let pl', c = Sc_place.Placer.improve_cost ~iters:800 pl in
+  check_int "incremental cost = from-scratch hpwl" (Sc_place.Placer.hpwl pl') c;
+  check_bool "never worse than the start" true (c <= Sc_place.Placer.hpwl pl)
+
+let prop_improve_cost_incremental_consistent =
+  (* the delta-priced descent must agree with a from-scratch HPWL on
+     whatever placement it ends at, from any random start *)
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"incremental improve cost = from-scratch hpwl"
+       ~count:25
+       QCheck.(make Gen.(int_range 0 1000))
+       (fun seed ->
+         let p = Sc_place.Placer.problem_of_circuit (sample_circuit ()) in
+         let pl = Sc_place.Placer.random ~seed p in
+         let pl', c = Sc_place.Placer.improve_cost ~iters:300 pl in
+         c = Sc_place.Placer.hpwl pl' && c <= Sc_place.Placer.hpwl pl))
+
+let test_best_of_pool_independent () =
+  let p = Sc_place.Placer.problem_of_circuit (sample_circuit ()) in
+  let run n =
+    let pool = Sc_par.Pool.create ~domains:n () in
+    Fun.protect
+      ~finally:(fun () -> Sc_par.Pool.shutdown pool)
+      (fun () -> Sc_place.Placer.best_of ~pool ~seeds:6 p)
+  in
+  let a = run 1 and b = run 4 in
+  check_bool "same placement at any pool size" true
+    (a.Sc_place.Placer.x = b.Sc_place.Placer.x
+    && a.Sc_place.Placer.row = b.Sc_place.Placer.row);
+  (* the constructive start is one of the candidates, so the winner can
+     only match or beat it *)
+  check_bool "beats or ties the improved constructive start" true
+    (Sc_place.Placer.hpwl a
+    <= Sc_place.Placer.hpwl (Sc_place.Placer.improve (Sc_place.Placer.ordered p)))
+
 let test_to_layout_drc_clean () =
   let p = Sc_place.Placer.problem_of_circuit (sample_circuit ()) in
   let pl = Sc_place.Placer.ordered p in
@@ -225,6 +263,11 @@ let suite =
   ; Alcotest.test_case "dogleg reduces tracks" `Quick test_dogleg_reduces_tracks
   ; Alcotest.test_case "pin spacing validated" `Quick test_pin_spacing_validated
   ; Alcotest.test_case "river route" `Quick test_river
+  ; Alcotest.test_case "improve_cost matches hpwl" `Quick
+      test_improve_cost_matches_hpwl
+  ; prop_improve_cost_incremental_consistent
+  ; Alcotest.test_case "best_of independent of pool size" `Quick
+      test_best_of_pool_independent
   ; Alcotest.test_case "route channels from placement" `Quick test_route_channels
   ; Alcotest.test_case "routed channels: structure helps" `Quick test_route_channels_structure_helps
   ; prop_random_channels_route_clean

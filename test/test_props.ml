@@ -187,6 +187,47 @@ let test_lang_budget () =
        String.length msg > 0)
   | Ok _ -> Alcotest.fail "expected budget exhaustion"
 
+(* --- optimizer vs formal checker, registers included --- *)
+
+let prop_optimize_preserves_sequential =
+  (* random gate DAGs with flip-flops mixed in; the optimizer's output
+     must be formally equivalent over a bounded unrolling.  Guards the
+     CSE-merges-registers regression: two registers sharing a D input
+     are distinct state and must not be folded into one. *)
+  let gen =
+    QCheck.Gen.(
+      list_size (int_range 3 20)
+        (triple (int_range 0 10) (int_range 0 10) (int_range 0 5)))
+  in
+  seeded
+    (QCheck.Test.make ~name:"simplify preserves sequential behaviour"
+       ~count:40 (QCheck.make gen) (fun spec ->
+         let open Sc_netlist in
+         let b = Builder.create "r" in
+         let ins = Builder.input b "x" 3 in
+         (* at least one register is always present *)
+         let pool = ref (Builder.dff b ins.(0) :: Array.to_list ins) in
+         let pick k = List.nth !pool (k mod List.length !pool) in
+         List.iter
+           (fun (i, j, op) ->
+             let a = pick i and c = pick j in
+             let n =
+               match op with
+               | 0 -> Builder.and2 b a c
+               | 1 -> Builder.or2 b a c
+               | 2 -> Builder.xor2 b a c
+               | 3 -> Builder.not_ b a
+               | _ -> Builder.dff b a
+             in
+             pool := n :: !pool)
+           spec;
+         Builder.output b "y"
+           (Array.of_list (List.filteri (fun i _ -> i < 2) !pool));
+         let c = Builder.finish b in
+         match Sc_equiv.Checker.check ~k:5 c (Optimize.simplify c) with
+         | Sc_equiv.Checker.Equivalent -> true
+         | Sc_equiv.Checker.Not_equivalent _ -> false))
+
 let suite =
   [ prop_row_width_is_sum
   ; prop_col_height_is_sum
@@ -198,4 +239,5 @@ let suite =
   ; Alcotest.test_case "timing custom delay" `Quick test_timing_custom_delay
   ; Alcotest.test_case "pad distribution" `Quick test_pad_distribution
   ; Alcotest.test_case "lang budget" `Quick test_lang_budget
+  ; prop_optimize_preserves_sequential
   ]
