@@ -564,17 +564,20 @@ let profile () =
         | Ok _ -> ()
         | Error e -> failwith ("profile: " ^ name ^ ": " ^ e));
         Sc_obs.Obs.disable ();
-        (name, Sc_obs.Obs.stage_table (), Sc_obs.Obs.totals ()))
+        ( name
+        , Sc_obs.Obs.stage_table ()
+        , Sc_obs.Obs.totals ()
+        , Sc_metrics.Metrics.capture ~design:name () ))
       designs
   in
   Printf.printf "stage cost, ms (one full behavioral compilation each):\n\n";
   Printf.printf "%-12s" "stage";
-  List.iter (fun (name, _, _) -> Printf.printf " %9s" name) runs;
+  List.iter (fun (name, _, _, _) -> Printf.printf " %9s" name) runs;
   Printf.printf "\n";
   let row label path =
     Printf.printf "%-12s" label;
     List.iter
-      (fun (_, table, _) ->
+      (fun (_, table, _, _) ->
         match
           List.find_opt (fun (r : Sc_obs.Obs.row) -> r.rpath = path) table
         with
@@ -588,7 +591,7 @@ let profile () =
     [ "parse"; "compile"; "optimize"; "place"; "route"; "drc"; "emit" ];
   Printf.printf "%-12s" "total";
   List.iter
-    (fun (_, table, _) ->
+    (fun (_, table, _, _) ->
       let total =
         List.fold_left
           (fun a (r : Sc_obs.Obs.row) ->
@@ -599,13 +602,13 @@ let profile () =
     runs;
   Printf.printf "\n\ncounters (gauges from the same runs):\n\n";
   Printf.printf "%-16s" "counter";
-  List.iter (fun (name, _, _) -> Printf.printf " %9s" name) runs;
+  List.iter (fun (name, _, _, _) -> Printf.printf " %9s" name) runs;
   Printf.printf "\n";
   List.iter
     (fun key ->
       Printf.printf "%-16s" key;
       List.iter
-        (fun (_, _, totals) ->
+        (fun (_, _, totals, _) ->
           match List.assoc_opt key totals with
           | Some v -> Printf.printf " %9d" v
           | None -> Printf.printf " %9s" "-")
@@ -617,7 +620,26 @@ let profile () =
   Printf.printf
     "\nthe drc and emit stages dominate (geometry volume), synthesis is \
      cheap; `scc isp DESIGN --stats --trace out.json` reproduces any row \
-     with a loadable Chrome trace\n"
+     with a loadable Chrome trace\n";
+  (* the same data, machine-readable: one metrics snapshot per design,
+     the perf trajectory a future commit diffs against *)
+  let json =
+    Sc_obs.Json.Obj
+      [ ("schema", Sc_obs.Json.Str "scc-bench")
+      ; ("experiment", Sc_obs.Json.Str "e10")
+      ; ( "snapshots"
+        , Sc_obs.Json.Arr
+            (List.map (fun (_, _, _, s) -> Sc_metrics.Metrics.to_json s) runs)
+        )
+      ]
+  in
+  let oc = open_out "BENCH_e10.json" in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Sc_obs.Json.to_string json);
+      output_char oc '\n');
+  Printf.printf "machine-readable snapshots written to BENCH_e10.json\n"
 
 (* ------------------------------------------------------------------ *)
 (* Ablations                                                           *)
@@ -826,8 +848,22 @@ let e11 () =
   Printf.printf "%-8s %-6s %9s %9s %9s %9s %7s %s\n" "design" "stage"
     "j=1 ms" "j=2 ms" "j=4 ms" "j=8 ms" "x at 4" "identical";
   let all_identical = ref true in
+  let json_rows = ref [] in
   let print_row name stage times same =
     if not same then all_identical := false;
+    json_rows :=
+      Sc_obs.Json.Obj
+        [ ("design", Sc_obs.Json.Str name)
+        ; ("stage", Sc_obs.Json.Str stage)
+        ; ( "ms"
+          , Sc_obs.Json.Obj
+              (List.map2
+                 (fun j t ->
+                   (Printf.sprintf "j%d" j, Sc_obs.Json.Num (Float.round (t *. 1000.) /. 1000.)))
+                 levels times) )
+        ; ("identical", Sc_obs.Json.Bool same)
+        ]
+      :: !json_rows;
     match times with
     | [ t1; t2; t4; t8 ] ->
       Printf.printf "%-8s %-6s %9.1f %9.1f %9.1f %9.1f %7.2f %s\n" name stage
@@ -907,7 +943,29 @@ let e11 () =
      hit after restart %.1f ms\n"
     cold warm
     (cold /. Float.max warm 0.001)
-    disk
+    disk;
+  let round3 t = Sc_obs.Json.Num (Float.round (t *. 1000.) /. 1000.) in
+  let json =
+    Sc_obs.Json.Obj
+      [ ("schema", Sc_obs.Json.Str "scc-bench")
+      ; ("experiment", Sc_obs.Json.Str "e11")
+      ; ("identical", Sc_obs.Json.Bool !all_identical)
+      ; ("rows", Sc_obs.Json.Arr (List.rev !json_rows))
+      ; ( "result_cache_ms"
+        , Sc_obs.Json.Obj
+            [ ("cold", round3 cold)
+            ; ("memory_hit", round3 warm)
+            ; ("disk_hit", round3 disk)
+            ] )
+      ]
+  in
+  let oc = open_out "BENCH_e11.json" in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Sc_obs.Json.to_string json);
+      output_char oc '\n');
+  Printf.printf "machine-readable rows written to BENCH_e11.json\n"
 
 (* ------------------------------------------------------------------ *)
 

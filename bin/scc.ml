@@ -10,6 +10,9 @@
      scc extract FILE   extract the transistor circuit from CIF geometry
      scc svg FILE       render CIF artwork as SVG
      scc equiv A B      prove two circuits equivalent (BDD engine)
+     scc report FILE    render a metrics snapshot as a human table
+     scc diff BASE CUR  classify metric deltas against a baseline;
+                        exit 1 on a QoR regression
 
    layout/behavior also take --verify, which formally certifies the
    stage: behavior equivalence-checks the optimizer's output against the
@@ -18,8 +21,9 @@
    against its gate specification.
 
    layout/behavior/isp take --stats (per-stage time/counter table from
-   the Sc_obs spans) and --trace FILE (Chrome trace-event JSON for
-   chrome://tracing or ui.perfetto.dev). *)
+   the Sc_obs spans), --trace FILE (Chrome trace-event JSON for
+   chrome://tracing or ui.perfetto.dev) and --metrics FILE (versioned
+   QoR + runtime snapshot JSON, the input of report/diff). *)
 
 open Cmdliner
 
@@ -122,7 +126,7 @@ let with_cache cache_dir k =
   | _ -> ());
   r
 
-(* --- observability: --stats / --trace --- *)
+(* --- observability: --stats / --trace / --metrics --- *)
 
 let stats_arg =
   Arg.(
@@ -139,11 +143,24 @@ let trace_arg =
           "Write Chrome trace-event JSON to $(docv) (open in \
            chrome://tracing or ui.perfetto.dev).")
 
-(* [instrumented ~stats ~trace ~table k] runs [k] with the span recorder
-   on when either sink was requested; [table] is where the summary goes
-   (stdout for isp, stderr for the CIF-printing commands). *)
-let instrumented ~stats ~trace ~table k =
-  let want = stats || trace <> None in
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Write a machine-readable QoR + runtime snapshot (versioned \
+           JSON) to $(docv); render it with $(b,scc report), compare \
+           against a baseline with $(b,scc diff).")
+
+(* [instrumented ~stats ~trace ~metrics ~design ~table k] runs [k] with
+   the span recorder on when any sink was requested; [table] is where
+   the summary goes (stdout for isp, stderr for the CIF-printing
+   commands).  The snapshot is captured before the recorder is
+   disabled, even when [k] fails, so a crashing compile still leaves
+   its partial telemetry behind. *)
+let instrumented ~stats ~trace ~metrics ~design ~table k =
+  let want = stats || trace <> None || metrics <> None in
   if want then begin
     Sc_obs.Obs.reset ();
     Sc_obs.Obs.enable ()
@@ -156,6 +173,11 @@ let instrumented ~stats ~trace ~table k =
         Sc_obs.Obs.write_trace path;
         Printf.eprintf "trace written to %s\n%!" path
       | None -> ());
+      (match metrics with
+      | Some path ->
+        Sc_metrics.Metrics.write path (Sc_metrics.Metrics.capture ~design ());
+        Printf.eprintf "metrics written to %s\n%!" path
+      | None -> ());
       Sc_obs.Obs.disable ()
     end
   in
@@ -166,6 +188,8 @@ let instrumented ~stats ~trace ~table k =
   | exception e ->
     finish ();
     raise e
+
+let design_of_path path = Filename.remove_extension (Filename.basename path)
 
 (* certify the primitive cell library: extract each cell's masks,
    tabulate the transistor netlist at switch level, and prove the result
@@ -212,9 +236,10 @@ let verify_cell_library () =
     bad Sc_netlist.Gate.all
 
 let layout_cmd =
-  let run file entry args output verify stats trace jobs =
+  let run file entry args output verify stats trace metrics jobs =
     with_jobs jobs @@ fun () ->
-    instrumented ~stats ~trace ~table:Format.err_formatter (fun () ->
+    instrumented ~stats ~trace ~metrics ~design:(design_of_path file)
+      ~table:Format.err_formatter (fun () ->
         match Sc_core.Compiler.compile_layout ?entry ~args (read_file file) with
         | Error e ->
           Printf.eprintf "error: %s\n" e;
@@ -228,7 +253,7 @@ let layout_cmd =
     (Cmd.info "layout" ~doc:"Compile a layout-language program to CIF.")
     Term.(
       const run $ file_arg $ entry_arg $ args_arg $ output_arg $ verify_arg
-      $ stats_arg $ trace_arg $ jobs_arg)
+      $ stats_arg $ trace_arg $ metrics_arg $ jobs_arg)
 
 (* --- behavior --- *)
 
@@ -274,17 +299,18 @@ let behavior_run ?restarts src style output verify =
     else 0
 
 let behavior_cmd =
-  let run file style output verify stats trace jobs cache_dir restarts =
+  let run file style output verify stats trace metrics jobs cache_dir restarts =
     with_jobs jobs @@ fun () ->
     with_cache cache_dir @@ fun () ->
-    instrumented ~stats ~trace ~table:Format.err_formatter (fun () ->
+    instrumented ~stats ~trace ~metrics ~design:(design_of_path file)
+      ~table:Format.err_formatter (fun () ->
         behavior_run ~restarts (read_file file) style output verify)
   in
   Cmd.v
     (Cmd.info "behavior" ~doc:"Compile an ISP behavioral description to CIF.")
     Term.(
       const run $ file_arg $ style_arg $ output_arg $ verify_arg $ stats_arg
-      $ trace_arg $ jobs_arg $ cache_dir_arg $ restarts_arg)
+      $ trace_arg $ metrics_arg $ jobs_arg $ cache_dir_arg $ restarts_arg)
 
 (* --- isp: builtin designs (or files) through the full behavioral path,
    built for profiling: the stage table goes to stdout, CIF is written
@@ -301,7 +327,7 @@ let isp_cmd =
              $(b,gray), $(b,seqdet), $(b,pdp8), $(b,pdp8_dp)) or an ISP \
              file path.")
   in
-  let run design style output stats trace jobs cache_dir restarts =
+  let run design style output stats trace metrics jobs cache_dir restarts =
     let src =
       match design with
       | "counter" -> Some Sc_core.Designs.counter_src
@@ -322,7 +348,8 @@ let isp_cmd =
     | Some src ->
       with_jobs jobs @@ fun () ->
       with_cache cache_dir @@ fun () ->
-      instrumented ~stats ~trace ~table:Format.std_formatter (fun () ->
+      instrumented ~stats ~trace ~metrics ~design:(design_of_path design)
+        ~table:Format.std_formatter (fun () ->
           match Sc_core.Compiler.compile_behavior ~style ~restarts src with
           | Error e ->
             Printf.eprintf "error: %s\n" e;
@@ -344,7 +371,7 @@ let isp_cmd =
           where the time and area go (see --stats/--trace).")
     Term.(
       const run $ design_arg $ style_arg $ output_arg $ stats_arg $ trace_arg
-      $ jobs_arg $ cache_dir_arg $ restarts_arg)
+      $ metrics_arg $ jobs_arg $ cache_dir_arg $ restarts_arg)
 
 (* --- drc / stats on CIF files --- *)
 
@@ -578,6 +605,93 @@ let equiv_cmd =
       const run $ spec_arg 0 "A" $ spec_arg 1 "B" $ k_arg $ mutate_arg
       $ order_arg $ jobs_arg)
 
+(* --- report / diff: the QoR telemetry surface --- *)
+
+let report_cmd =
+  let run file =
+    match Sc_metrics.Metrics.read file with
+    | Error e ->
+      Printf.eprintf "error: %s\n" e;
+      2
+    | Ok s ->
+      Format.printf "%a@?" Sc_metrics.Metrics.pp_snapshot s;
+      0
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Render a metrics snapshot (written by --metrics) as a human \
+          table.")
+    Term.(const run $ file_arg)
+
+let diff_cmd =
+  let baseline_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"BASELINE" ~doc:"Baseline snapshot JSON.")
+  in
+  let current_arg =
+    Arg.(
+      required
+      & pos 1 (some file) None
+      & info [] ~docv:"CURRENT" ~doc:"Current snapshot JSON.")
+  in
+  let thresholds_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "thresholds" ] ~docv:"FILE"
+          ~doc:
+            "Per-metric neutrality thresholds: a JSON object mapping a \
+             key or prefix pattern (ending in *) to {\"rel\": r, \
+             \"abs\": a}.  Unmatched QoR keys compare exactly; runtime \
+             keys default to rel 0.25 / abs 20000 us.")
+  in
+  let gate_runtime_arg =
+    Arg.(
+      value & flag
+      & info [ "gate-runtime" ]
+          ~doc:
+            "Also fail (exit 1) on runtime regressions.  Off by \
+             default: wall-clock is machine-dependent, so runtime \
+             deltas are reported but only QoR regressions gate.")
+  in
+  let run baseline current thresholds gate_runtime =
+    let load_thresholds () =
+      match thresholds with
+      | None -> Ok Sc_metrics.Metrics.default_thresholds
+      | Some path -> (
+        match Sc_metrics.Metrics.thresholds_of_string (read_file path) with
+        | Ok t -> Ok t
+        | Error e -> Error (path ^ ": " ^ e))
+    in
+    match
+      (Sc_metrics.Metrics.read baseline, Sc_metrics.Metrics.read current,
+       load_thresholds ())
+    with
+    | Error e, _, _ | _, Error e, _ | _, _, Error e ->
+      Printf.eprintf "error: %s\n" e;
+      2
+    | Ok base, Ok cur, Ok thresholds ->
+      let report = Sc_metrics.Metrics.diff ~thresholds base cur in
+      Format.printf "%a@?" Sc_metrics.Metrics.pp_report report;
+      if Sc_metrics.Metrics.gate ~runtime:gate_runtime report then begin
+        Printf.eprintf "quality gate: REGRESSED against %s\n" baseline;
+        1
+      end
+      else 0
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:
+         "Classify every metric delta between two snapshots as \
+          improved, neutral or regressed; exit 1 when the quality gate \
+          trips.")
+    Term.(
+      const run $ baseline_arg $ current_arg $ thresholds_arg
+      $ gate_runtime_arg)
+
 let () =
   let doc = "the silicon compiler: textual descriptions to layout data" in
   exit
@@ -585,5 +699,5 @@ let () =
        (Cmd.group
           (Cmd.info "scc" ~version:"1.0" ~doc)
           [ layout_cmd; behavior_cmd; isp_cmd; drc_cmd; stats_cmd; sim_cmd
-          ; extract_cmd; svg_cmd; equiv_cmd
+          ; extract_cmd; svg_cmd; equiv_cmd; report_cmd; diff_cmd
           ]))

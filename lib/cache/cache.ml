@@ -63,19 +63,25 @@ let push_front t n =
   (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
   t.head <- Some n
 
+(* returns how many entries were evicted so the caller can report them
+   to Obs outside the lock *)
 let insert t key value =
-  if not (Hashtbl.mem t.tbl key) then begin
+  if Hashtbl.mem t.tbl key then 0
+  else begin
     let n = { nkey = key; nvalue = value; prev = None; next = None } in
     Hashtbl.replace t.tbl key n;
     push_front t n;
+    let evicted = ref 0 in
     while Hashtbl.length t.tbl > t.cap do
       match t.tail with
       | Some last ->
         unlink t last;
         Hashtbl.remove t.tbl last.nkey;
-        t.evictions <- t.evictions + 1
+        t.evictions <- t.evictions + 1;
+        incr evicted
       | None -> assert false
-    done
+    done;
+    !evicted
   end
 
 (* --- disk layer --- *)
@@ -113,7 +119,8 @@ let disk_write t key value =
 
 let locked t f = Mutex.protect t.lock f
 
-let note t what = Sc_obs.Obs.count ("cache." ^ t.name ^ "." ^ what) 1
+let note ?(n = 1) t what =
+  if n > 0 then Sc_obs.Obs.count ("cache." ^ t.name ^ "." ^ what) n
 
 let find t key =
   let hit =
@@ -135,20 +142,26 @@ let find_or_add t key compute =
   | None -> (
     match disk_read t key with
     | Some v ->
-      locked t (fun () ->
-          t.disk_hits <- t.disk_hits + 1;
-          insert t key v);
+      let evicted =
+        locked t (fun () ->
+            t.disk_hits <- t.disk_hits + 1;
+            insert t key v)
+      in
       note t "disk_hit";
+      note ~n:evicted t "eviction";
       v
     | None ->
       (* compute outside the lock: a racing domain at worst repeats the
          work and the second insert is a no-op *)
       let v = compute () in
-      locked t (fun () ->
-          t.misses <- t.misses + 1;
-          insert t key v);
+      let evicted =
+        locked t (fun () ->
+            t.misses <- t.misses + 1;
+            insert t key v)
+      in
       disk_write t key v;
       note t "miss";
+      note ~n:evicted t "eviction";
       v)
 
 let remove t key =

@@ -18,8 +18,11 @@
     Stores are domain-safe (one mutex each); the computation given to
     {!find_or_add} runs outside the lock, so two domains may race to
     compute the same key — both results are equal by construction and
-    the second insert is a no-op.  Hits and misses are reported to
-    {!Sc_obs.Obs} as ["cache.<name>.hit"] / ["cache.<name>.miss"]. *)
+    the second insert is a no-op.  Cache effectiveness is reported to
+    {!Sc_obs.Obs} as ["cache.<name>.hit"] / ["cache.<name>.disk_hit"] /
+    ["cache.<name>.miss"] / ["cache.<name>.eviction"], so [--stats]
+    tables and [Sc_metrics] snapshots show it; {!stats} exposes the
+    same counts programmatically. *)
 
 type 'a t
 

@@ -14,12 +14,21 @@ type compiled =
 (* DRC and CIF emission carry their own "drc" / "emit" spans, so
    measuring a layout is what populates those rows of the stage table. *)
 let measure layout =
-  { layout
-  ; cif = Sc_cif.Emit.to_string layout
-  ; drc_violations = List.length (Sc_drc.Checker.check layout)
-  ; area = Cell.area layout
-  ; transistors = Stats.transistor_count layout
-  }
+  let c =
+    { layout
+    ; cif = Sc_cif.Emit.to_string layout
+    ; drc_violations = List.length (Sc_drc.Checker.check layout)
+    ; area = Cell.area layout
+    ; transistors = Stats.transistor_count layout
+    }
+  in
+  if Obs.enabled () then begin
+    Obs.gauge "area" c.area;
+    Obs.gauge "layout.transistors" c.transistors;
+    Obs.gauge "layout.cells" (List.length (Cell.all_cells layout));
+    Obs.gauge "layout.rects" (Cell.flat_rect_count layout)
+  end;
+  c
 
 let to_cif = Sc_cif.Emit.to_string
 

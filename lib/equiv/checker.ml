@@ -127,6 +127,7 @@ let check_cones ?pool ?order ?(k = 8) a b =
       out_ports
   in
   let results = Sc_par.Pool.run ~label:"equiv.cone" pool tasks in
+  Sc_obs.Obs.count "equiv.cones" (List.length out_ports);
   Sc_obs.Obs.gauge "bdd.nodes"
     (List.fold_left (fun acc (_, nc) -> acc + nc) 0 results);
   match List.find_map fst results with

@@ -82,13 +82,27 @@ let run ?(label = "par.task") t thunks =
   let n = Array.length thunks in
   let obs = Sc_obs.Obs.enabled () in
   let exec f = if obs then Sc_obs.Obs.span label f else f () in
-  if t.pool_size <= 1 || n <= 1 then
+  if obs then Sc_obs.Obs.gauge "pool.width" t.pool_size;
+  if t.pool_size <= 1 || n <= 1 then begin
     (* sequential path: no queueing, natural exception propagation *)
+    if obs then Sc_obs.Obs.count "pool.d0.tasks" n;
     Array.to_list (Array.map (fun f -> exec f) thunks)
+  end
   else begin
     let slots = Array.make n Pending in
     let remaining = ref n in
+    (* which domain completed each task, for the load-imbalance gauges:
+       rank 0 is the caller, workers rank by spawn order *)
+    let ran_on = Array.make n (-1) in
+    let rank_of =
+      let caller = (Domain.self () :> int) in
+      let workers =
+        List.mapi (fun i d -> ((Domain.get_id d :> int), i + 1)) t.workers
+      in
+      fun id -> if id = caller then 0 else List.assoc id workers
+    in
     let task i () =
+      ran_on.(i) <- (Domain.self () :> int);
       (slots.(i) <-
         (match exec thunks.(i) with
         | v -> Done v
@@ -113,7 +127,20 @@ let run ?(label = "par.task") t thunks =
       Condition.wait t.settled t.lock
     done;
     Mutex.unlock t.lock;
-    if obs then Sc_obs.Obs.count (label ^ ".tasks") n;
+    if obs then begin
+      Sc_obs.Obs.count (label ^ ".tasks") n;
+      let per_rank = Array.make t.pool_size 0 in
+      Array.iter
+        (fun id -> if id >= 0 then begin
+            let r = rank_of id in
+            per_rank.(r) <- per_rank.(r) + 1
+          end)
+        ran_on;
+      Array.iteri
+        (fun r c ->
+          if c > 0 then Sc_obs.Obs.count (Printf.sprintf "pool.d%d.tasks" r) c)
+        per_rank
+    end;
     Array.to_list
       (Array.map
          (function

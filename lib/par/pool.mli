@@ -23,7 +23,10 @@
     Every task runs inside an {!Sc_obs.Obs.span} (named by [~label])
     when the recorder is enabled; spans carry the worker's domain id,
     so a Chrome trace shows one track per domain and the summary table
-    aggregates per-label totals across domains. *)
+    aggregates per-label totals across domains.  Each [run] also
+    records the pool width (gauge ["pool.width"]) and per-domain
+    completed-task counts (["pool.d<rank>.tasks"], rank 0 = the
+    caller), so [Sc_metrics] snapshots expose load imbalance. *)
 
 type t
 

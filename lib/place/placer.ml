@@ -242,6 +242,11 @@ let best_of ?pool ?(seeds = 4) ?iters ?nrows p =
 let to_layout ?(channel = 30) ~name pl =
   let open Sc_geom in
   let n = Array.length pl.problem.kinds in
+  if Sc_obs.Obs.enabled () then begin
+    Sc_obs.Obs.gauge "place.hpwl" (hpwl pl);
+    Sc_obs.Obs.gauge "place.rows" pl.nrows;
+    Sc_obs.Obs.gauge "place.cells" n
+  end;
   let pitch = Sc_stdcell.Nmos.cell_height + channel in
   let insts = ref [] in
   for i = n - 1 downto 0 do
