@@ -8,7 +8,7 @@
 
    Run everything:        dune exec bench/main.exe
    Run one experiment:    dune exec bench/main.exe -- e3
-   Options:               e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 profile
+   Options:               e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e13 profile
                           ablate micro all
    (e10 and profile are synonyms: the stage-cost profile of the full
    behavioral path, regenerating the EXPERIMENTS.md E10 table.) *)
@@ -231,7 +231,7 @@ let e5 () =
       let pla_cells =
         match Sc_synth.Synth.pla_fsm d with
         | r, _ -> Some (r.Sc_synth.Synth.cell_area, r.Sc_synth.Synth.critical_path)
-        | exception Invalid_argument _ -> None
+        | exception Sc_pipeline.Diag.Error _ -> None
       in
       let hand_cells =
         Option.map
@@ -308,7 +308,7 @@ let e7 () =
         (Sc_core.Compiler.layout_of_circuit ~name g.Sc_synth.Synth.circuit);
       match Sc_synth.Synth.pla_fsm d with
       | _, pla -> check name "pla" pla.Sc_pla.Generator.layout
-      | exception Invalid_argument _ -> ())
+      | exception Sc_pipeline.Diag.Error _ -> ())
     (Sc_core.Designs.all ());
   (match
      Sc_lang.Lang.compile ~args:[ 8; 4 ]
@@ -562,7 +562,8 @@ let profile () =
         Sc_obs.Obs.enable ();
         (match Sc_core.Compiler.compile_behavior src with
         | Ok _ -> ()
-        | Error e -> failwith ("profile: " ^ name ^ ": " ^ e));
+        | Error d ->
+          failwith ("profile: " ^ name ^ ": " ^ Sc_pipeline.Diag.to_string d));
         Sc_obs.Obs.disable ();
         ( name
         , Sc_obs.Obs.stage_table ()
@@ -722,7 +723,7 @@ let ablate () =
       let pla_area =
         match Sc_synth.Synth.pla_fsm d with
         | r, _ -> string_of_int r.Sc_synth.Synth.cell_area
-        | exception Invalid_argument _ -> "(too large)"
+        | exception Sc_pipeline.Diag.Error _ -> "(too large)"
       in
       Printf.printf "    %5d %12d %12s\n" w g.Sc_synth.Synth.cell_area pla_area)
     [ 2; 4; 6; 8; 10 ];
@@ -929,17 +930,18 @@ let e11 () =
   let compile () =
     match Sc_core.Compiler.compile_behavior Sc_core.Designs.pdp8_src with
     | Ok _ -> ()
-    | Error e -> failwith e
+    | Error d -> failwith (Sc_pipeline.Diag.to_string d)
   in
-  Sc_core.Compiler.Result_cache.enable ~dir ();
+  Sc_pipeline.Pipeline.enable_cache ~dir ();
   let (), cold = wall compile in
   let (), warm = wall compile in
-  Sc_core.Compiler.Result_cache.disable ();
-  Sc_core.Compiler.Result_cache.enable ~dir ();
+  (* a "restart": drop every in-memory store, keep the disk artifacts *)
+  Sc_pipeline.Pipeline.clear_caches ();
   let (), disk = wall compile in
-  Sc_core.Compiler.Result_cache.disable ();
+  Sc_pipeline.Pipeline.disable_cache ();
+  Sc_pipeline.Pipeline.clear_caches ();
   Printf.printf
-    "result cache (pdp8): cold %.1f ms, memory hit %.1f ms (%.0fx), disk \
+    "stage cache (pdp8): cold %.1f ms, memory hit %.1f ms (%.0fx), disk \
      hit after restart %.1f ms\n"
     cold warm
     (cold /. Float.max warm 0.001)
@@ -968,6 +970,103 @@ let e11 () =
   Printf.printf "machine-readable rows written to BENCH_e11.json\n"
 
 (* ------------------------------------------------------------------ *)
+(* E13: incremental recompilation through the typed pass manager       *)
+(* ------------------------------------------------------------------ *)
+
+let e13 () =
+  section "E13: incremental recompilation (per-stage cache, lib/pipeline)"
+    "the pass manager turns whole-run memoization into per-pass reuse: \
+     an identical input hits every stage; editing --restarts reruns \
+     only place and the passes downstream of it";
+  let module P = Sc_pipeline.Pipeline in
+  let wall f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, (Unix.gettimeofday () -. t0) *. 1000.)
+  in
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "scc-e13-cache" in
+  (* the directory persists across bench runs: start genuinely cold *)
+  if Sys.file_exists dir then
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  let compile restarts =
+    P.reset_log ();
+    match
+      Sc_core.Compiler.compile_behavior ~restarts Sc_core.Designs.pdp8_src
+    with
+    | Ok _ -> P.log ()
+    | Error d -> failwith (Sc_pipeline.Diag.to_string d)
+  in
+  P.enable_cache ~dir ();
+  let log_cold, cold = wall (fun () -> compile 2) in
+  let log_warm, warm = wall (fun () -> compile 2) in
+  let log_edit, edit = wall (fun () -> compile 5) in
+  P.disable_cache ();
+  P.clear_caches ();
+  Printf.printf "%-10s %-14s %-14s %-14s\n" "pass" "cold" "warm (same)"
+    "warm (edited)";
+  List.iteri
+    (fun i (name, _) ->
+      let at lg = P.status_to_string (snd (List.nth lg i)) in
+      Printf.printf "%-10s %-14s %-14s %-14s\n" name (at log_cold)
+        (at log_warm) (at log_edit))
+    log_cold;
+  Printf.printf
+    "\ntimings: cold %.1f ms; identical input %.1f ms (%.0fx); after a \
+     --restarts edit %.1f ms (%.1fx)\n"
+    cold warm
+    (cold /. Float.max warm 0.001)
+    edit
+    (cold /. Float.max edit 0.001);
+  let ran lg =
+    List.filter_map
+      (fun (n, st) -> if st = P.Ran || st = P.Failed then Some n else None)
+      lg
+  in
+  let fail msg =
+    Printf.printf "\nFAIL: %s\n" msg;
+    exit 1
+  in
+  if ran log_warm <> [] then
+    fail
+      ("identical input re-ran: " ^ String.concat ", " (ran log_warm));
+  if ran log_edit <> [ "place"; "route"; "drc"; "emit"; "measure" ] then
+    fail
+      ("--restarts edit re-ran: " ^ String.concat ", " (ran log_edit)
+     ^ " (expected place route drc emit measure)");
+  Printf.printf
+    "\nidentical input: all-stage hit; --restarts edit: \
+     parse/compile/optimize reused, place..measure recomputed\n";
+  let round3 t = Sc_obs.Json.Num (Float.round (t *. 1000.) /. 1000.) in
+  let statuses lg =
+    Sc_obs.Json.Obj
+      (List.map
+         (fun (n, st) -> (n, Sc_obs.Json.Str (P.status_to_string st)))
+         lg)
+  in
+  let json =
+    Sc_obs.Json.Obj
+      [ ("schema", Sc_obs.Json.Str "scc-bench")
+      ; ("experiment", Sc_obs.Json.Str "e13")
+      ; ( "ms"
+        , Sc_obs.Json.Obj
+            [ ("cold", round3 cold)
+            ; ("warm_identical", round3 warm)
+            ; ("warm_after_restarts_edit", round3 edit)
+            ] )
+      ; ("cold", statuses log_cold)
+      ; ("warm_identical", statuses log_warm)
+      ; ("warm_after_restarts_edit", statuses log_edit)
+      ]
+  in
+  let oc = open_out "BENCH_e13.json" in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Sc_obs.Json.to_string json);
+      output_char oc '\n');
+  Printf.printf "machine-readable timings written to BENCH_e13.json\n"
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
@@ -983,6 +1082,7 @@ let () =
     | "e9" -> e9 ()
     | "e10" | "profile" -> profile ()
     | "e11" -> e11 ()
+    | "e13" -> e13 ()
     | "ablate" -> ablate ()
     | "micro" -> micro ()
     | other -> Printf.eprintf "unknown experiment %S\n" other
@@ -991,6 +1091,6 @@ let () =
   | "all" ->
     List.iter run
       [ "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e7"; "e8"; "e9"; "e10"; "e11"
-      ; "ablate"; "micro"
+      ; "e13"; "ablate"; "micro"
       ]
   | w -> run w

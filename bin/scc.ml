@@ -23,7 +23,10 @@
    layout/behavior/isp take --stats (per-stage time/counter table from
    the Sc_obs spans), --trace FILE (Chrome trace-event JSON for
    chrome://tracing or ui.perfetto.dev) and --metrics FILE (versioned
-   QoR + runtime snapshot JSON, the input of report/diff). *)
+   QoR + runtime snapshot JSON, the input of report/diff).  They also
+   take --stage-cache DIR (persist every pass artifact of the
+   Sc_pipeline pass manager, so recompiles are incremental) and
+   --explain (print which passes ran vs hit the cache). *)
 
 open Cmdliner
 
@@ -96,15 +99,32 @@ let with_jobs jobs k =
   Sc_par.Pool.set_default_size jobs;
   k ()
 
+let stage_cache_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "stage-cache" ] ~docv:"DIR"
+        ~doc:
+          "Persist every pass's artifact content-addressed under \
+           $(docv).  Identical inputs are stage-level hits, even \
+           across processes: recompiling after a $(b,--restarts) \
+           change reruns only place and later passes, and an \
+           unchanged source reruns nothing.")
+
 let cache_dir_arg =
   Arg.(
     value
     & opt (some string) None
     & info [ "cache-dir" ] ~docv:"DIR"
+        ~doc:"Deprecated alias for $(b,--stage-cache).")
+
+let explain_arg =
+  Arg.(
+    value & flag
+    & info [ "explain" ]
         ~doc:
-          "Persist compilation results content-addressed under $(docv); \
-           an identical source compiled again is a cache hit, even \
-           across processes.")
+          "After compiling, print one line per pass saying whether it \
+           ran or was served from the stage cache (memory or disk).")
 
 let restarts_arg =
   Arg.(
@@ -114,17 +134,29 @@ let restarts_arg =
           "Extra random-start placements refined concurrently (best \
            HPWL wins; 0 = constructive placement only).")
 
-let with_cache cache_dir k =
-  (match cache_dir with
-  | Some dir -> Sc_core.Compiler.Result_cache.enable ~dir ()
+(* stage-cache plumbing shared by the compile commands: enable the
+   pipeline store (when asked), run, then print the per-pass outcomes
+   (--explain) and cache stats to stderr *)
+let with_pipeline ~stage_cache ~cache_dir ~explain k =
+  let dir = match stage_cache with Some _ -> stage_cache | None -> cache_dir in
+  (match dir with
+  | Some dir -> Sc_pipeline.Pipeline.enable_cache ~dir ()
   | None -> ());
+  Sc_pipeline.Pipeline.reset_log ();
   let r = k () in
-  (match Sc_core.Compiler.Result_cache.stats () with
-  | Some s when cache_dir <> None ->
-    Printf.eprintf "cache: %s\n%!"
-      (Format.asprintf "%a" Sc_cache.Cache.pp_stats s)
-  | _ -> ());
+  if explain then
+    Format.eprintf "%a%!" Sc_pipeline.Pipeline.pp_explain ();
+  if dir <> None then
+    List.iter
+      (fun (name, s) ->
+        Printf.eprintf "cache %s: %s\n%!" name
+          (Format.asprintf "%a" Sc_cache.Cache.pp_stats s))
+      (Sc_pipeline.Pipeline.cache_stats ());
   r
+
+let report_diag d =
+  Printf.eprintf "error: %s\n" (Sc_pipeline.Diag.to_string d);
+  1
 
 (* --- observability: --stats / --trace / --metrics --- *)
 
@@ -236,14 +268,14 @@ let verify_cell_library () =
     bad Sc_netlist.Gate.all
 
 let layout_cmd =
-  let run file entry args output verify stats trace metrics jobs =
+  let run file entry args output verify stats trace metrics jobs stage_cache
+      cache_dir explain =
     with_jobs jobs @@ fun () ->
+    with_pipeline ~stage_cache ~cache_dir ~explain @@ fun () ->
     instrumented ~stats ~trace ~metrics ~design:(design_of_path file)
       ~table:Format.err_formatter (fun () ->
         match Sc_core.Compiler.compile_layout ?entry ~args (read_file file) with
-        | Error e ->
-          Printf.eprintf "error: %s\n" e;
-          1
+        | Error d -> report_diag d
         | Ok c ->
           report_compiled c;
           write_out output c.Sc_core.Compiler.cif;
@@ -253,7 +285,8 @@ let layout_cmd =
     (Cmd.info "layout" ~doc:"Compile a layout-language program to CIF.")
     Term.(
       const run $ file_arg $ entry_arg $ args_arg $ output_arg $ verify_arg
-      $ stats_arg $ trace_arg $ metrics_arg $ jobs_arg)
+      $ stats_arg $ trace_arg $ metrics_arg $ jobs_arg $ stage_cache_arg
+      $ cache_dir_arg $ explain_arg)
 
 (* --- behavior --- *)
 
@@ -267,9 +300,7 @@ let style_arg =
 
 let behavior_run ?restarts src style output verify =
   match Sc_core.Compiler.compile_behavior ~style ?restarts src with
-  | Error e ->
-    Printf.eprintf "error: %s\n" e;
-    1
+  | Error d -> report_diag d
   | Ok (c, circuit) ->
     let s = Sc_netlist.Circuit.stats circuit in
     Printf.eprintf "netlist: %d gates, %d flip-flops\n%!"
@@ -292,16 +323,17 @@ let behavior_run ?restarts src style output verify =
             "verify: optimized netlist proven equivalent to raw \
              translation\n%!";
           0
-        | exception Failure msg ->
-          Printf.eprintf "verify: %s\n" msg;
+        | exception Sc_pipeline.Diag.Error d ->
+          Printf.eprintf "verify: %s\n" (Sc_pipeline.Diag.to_string d);
           1)
     end
     else 0
 
 let behavior_cmd =
-  let run file style output verify stats trace metrics jobs cache_dir restarts =
+  let run file style output verify stats trace metrics jobs stage_cache
+      cache_dir explain restarts =
     with_jobs jobs @@ fun () ->
-    with_cache cache_dir @@ fun () ->
+    with_pipeline ~stage_cache ~cache_dir ~explain @@ fun () ->
     instrumented ~stats ~trace ~metrics ~design:(design_of_path file)
       ~table:Format.err_formatter (fun () ->
         behavior_run ~restarts (read_file file) style output verify)
@@ -310,7 +342,8 @@ let behavior_cmd =
     (Cmd.info "behavior" ~doc:"Compile an ISP behavioral description to CIF.")
     Term.(
       const run $ file_arg $ style_arg $ output_arg $ verify_arg $ stats_arg
-      $ trace_arg $ metrics_arg $ jobs_arg $ cache_dir_arg $ restarts_arg)
+      $ trace_arg $ metrics_arg $ jobs_arg $ stage_cache_arg $ cache_dir_arg
+      $ explain_arg $ restarts_arg)
 
 (* --- isp: builtin designs (or files) through the full behavioral path,
    built for profiling: the stage table goes to stdout, CIF is written
@@ -327,7 +360,8 @@ let isp_cmd =
              $(b,gray), $(b,seqdet), $(b,pdp8), $(b,pdp8_dp)) or an ISP \
              file path.")
   in
-  let run design style output stats trace metrics jobs cache_dir restarts =
+  let run design style output stats trace metrics jobs stage_cache cache_dir
+      explain restarts =
     let src =
       match design with
       | "counter" -> Some Sc_core.Designs.counter_src
@@ -347,13 +381,11 @@ let isp_cmd =
       2
     | Some src ->
       with_jobs jobs @@ fun () ->
-      with_cache cache_dir @@ fun () ->
+      with_pipeline ~stage_cache ~cache_dir ~explain @@ fun () ->
       instrumented ~stats ~trace ~metrics ~design:(design_of_path design)
         ~table:Format.std_formatter (fun () ->
           match Sc_core.Compiler.compile_behavior ~style ~restarts src with
-          | Error e ->
-            Printf.eprintf "error: %s\n" e;
-            1
+          | Error d -> report_diag d
           | Ok (c, circuit) ->
             let s = Sc_netlist.Circuit.stats circuit in
             Printf.eprintf "netlist: %d gates, %d flip-flops\n%!"
@@ -371,7 +403,8 @@ let isp_cmd =
           where the time and area go (see --stats/--trace).")
     Term.(
       const run $ design_arg $ style_arg $ output_arg $ stats_arg $ trace_arg
-      $ metrics_arg $ jobs_arg $ cache_dir_arg $ restarts_arg)
+      $ metrics_arg $ jobs_arg $ stage_cache_arg $ cache_dir_arg $ explain_arg
+      $ restarts_arg)
 
 (* --- drc / stats on CIF files --- *)
 
@@ -489,7 +522,8 @@ let resolve_circuit spec =
   let synth src =
     (Sc_synth.Synth.gates (Sc_core.Designs.parse src)).Sc_synth.Synth.circuit
   in
-  match String.index_opt spec ':' with
+  try
+    match String.index_opt spec ':' with
   | Some i when String.sub spec 0 i = "hand" -> (
     match String.sub spec (i + 1) (String.length spec - i - 1) with
     | "counter" -> Ok (Sc_core.Designs.hand_counter ())
@@ -508,15 +542,14 @@ let resolve_circuit spec =
     | "pdp8" -> Ok (synth Sc_core.Designs.pdp8_src)
     | "pdp8_dp" -> Ok (synth Sc_core.Designs.pdp8_dp_src)
     | n -> Error ("unknown builtin design " ^ n))
-  | _ -> (
-    if not (Sys.file_exists spec) then Error ("no such file: " ^ spec)
-    else
-      match Sc_rtl.Parser.parse (read_file spec) with
-      | Error e -> Error (spec ^ ": " ^ e)
-      | Ok design -> (
-        match Sc_synth.Synth.gates design with
-        | r -> Ok r.Sc_synth.Synth.circuit
-        | exception Invalid_argument e -> Error (spec ^ ": " ^ e)))
+    | _ ->
+      if not (Sys.file_exists spec) then Error ("no such file: " ^ spec)
+      else (
+        match Sc_rtl.Parser.parse (read_file spec) with
+        | Error e -> Error (spec ^ ": " ^ e)
+        | Ok design -> Ok (Sc_synth.Synth.gates design).Sc_synth.Synth.circuit)
+  with Sc_pipeline.Diag.Error d ->
+    Error (spec ^ ": " ^ Sc_pipeline.Diag.to_string d)
 
 let equiv_cmd =
   let spec_arg idx name =

@@ -30,8 +30,8 @@ cell main(n, m) { inst bank(n, m) at (0, 0); }
 
 let () =
   match Sc_core.Compiler.compile_layout ~args:[ 4; 3 ] source with
-  | Error e ->
-    prerr_endline ("compile error: " ^ e);
+  | Error d ->
+    prerr_endline ("compile error: " ^ Sc_pipeline.Diag.to_string d);
     exit 1
   | Ok compiled ->
     let cell = compiled.Sc_core.Compiler.layout in

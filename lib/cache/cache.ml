@@ -136,9 +136,9 @@ let find t key =
   (match hit with Some _ -> note t "hit" | None -> ());
   hit
 
-let find_or_add t key compute =
+let lookup t key =
   match find t key with
-  | Some v -> v
+  | Some v -> `Memory v
   | None -> (
     match disk_read t key with
     | Some v ->
@@ -149,20 +149,28 @@ let find_or_add t key compute =
       in
       note t "disk_hit";
       note ~n:evicted t "eviction";
-      v
-    | None ->
-      (* compute outside the lock: a racing domain at worst repeats the
-         work and the second insert is a no-op *)
-      let v = compute () in
-      let evicted =
-        locked t (fun () ->
-            t.misses <- t.misses + 1;
-            insert t key v)
-      in
-      disk_write t key v;
-      note t "miss";
-      note ~n:evicted t "eviction";
-      v)
+      `Disk v
+    | None -> `Absent)
+
+let add t key v =
+  let evicted =
+    locked t (fun () ->
+        t.misses <- t.misses + 1;
+        insert t key v)
+  in
+  disk_write t key v;
+  note t "miss";
+  note ~n:evicted t "eviction"
+
+let find_or_add t key compute =
+  match lookup t key with
+  | `Memory v | `Disk v -> v
+  | `Absent ->
+    (* compute outside the lock: a racing domain at worst repeats the
+       work and the second insert is a no-op *)
+    let v = compute () in
+    add t key v;
+    v
 
 let remove t key =
   locked t (fun () ->

@@ -42,6 +42,20 @@ val find_or_add : 'a t -> string -> (unit -> 'a) -> 'a
 val find : 'a t -> string -> 'a option
 (** Lookup without computing; refreshes recency on hit. *)
 
+val lookup : 'a t -> string -> [ `Memory of 'a | `Disk of 'a | `Absent ]
+(** Value-level lookup that distinguishes where the hit came from.
+    [`Memory] refreshes recency and counts a hit; [`Disk] loads the
+    value into memory and counts a disk hit; [`Absent] counts nothing —
+    pair with {!add} to record the miss once the value is computed.
+    This is the stage-cache API: callers that must keep errors out of
+    the store (see {!Sc_pipeline.Pipeline}) probe with [lookup] and
+    only {!add} successful results, with no exception round-trip. *)
+
+val add : 'a t -> string -> 'a -> unit
+(** [add t key v] records a computed-from-scratch value: counts a miss,
+    inserts [v] under [key] (refreshing nothing if the key raced in
+    already), and persists it when the store has a [dir]. *)
+
 val remove : 'a t -> string -> unit
 (** Drop a key from memory and, when persistent, from disk. *)
 

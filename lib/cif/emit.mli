@@ -10,7 +10,25 @@
 
 val file_of_cell : Sc_layout.Cell.t -> Ast.file
 
+type emitted =
+  { text : string  (** the rendered CIF file *)
+  ; commands : int  (** CIF command count *)
+  ; rects : (string * int) list
+        (** box count per layer, sorted by CIF layer name *)
+  ; rects_total : int
+  }
+
+val emit : Sc_layout.Cell.t -> emitted
+(** Render [cell] inside an ["emit"] span and return the text together
+    with its geometry census — the pipeline's emit-pass artifact.  The
+    ["cif.*"] counters are reported as a side effect. *)
+
+val replay_counters : emitted -> unit
+(** Re-emit the ["cif.*"] counters {!emit} would have reported — used
+    by stage-cache hits so warm QoR snapshots match cold ones. *)
+
 val to_string : Sc_layout.Cell.t -> string
+(** [(emit cell).text]. *)
 
 val to_channel : out_channel -> Sc_layout.Cell.t -> unit
 

@@ -1,5 +1,7 @@
 open Sc_layout
 module Obs = Sc_obs.Obs
+module P = Sc_pipeline.Pipeline
+module Diag = Sc_pipeline.Diag
 
 type behavior_style = Random_logic | Pla_control
 
@@ -10,6 +12,8 @@ type compiled =
   ; area : int
   ; transistors : int
   }
+
+let to_cif = Sc_cif.Emit.to_string
 
 (* DRC and CIF emission carry their own "drc" / "emit" spans, so
    measuring a layout is what populates those rows of the stage table. *)
@@ -30,17 +34,33 @@ let measure layout =
   end;
   c
 
-let to_cif = Sc_cif.Emit.to_string
-
-let compile_layout ?entry ?args src =
-  match Obs.span "parse" (fun () -> Sc_lang.Lang.compile ?entry ?args src) with
-  | Ok cell -> Ok (measure cell)
-  | Error e -> Error (Sc_lang.Lang.error_to_string e)
-
 let place_circuit ?(restarts = 0) circuit =
   let problem = Sc_place.Placer.problem_of_circuit circuit in
   if restarts <= 0 then Sc_place.Placer.ordered problem
   else Sc_place.Placer.best_of ~seeds:restarts problem
+
+(* Routing the row channels is pure measurement on this artwork style
+   (the rows stay at a fixed pitch), but it is a QoR source —
+   route.tracks/height/channels — so it runs unconditionally; a
+   pathological channel is reported as "no summary", never an abort. *)
+type route_summary =
+  { rchannels : int
+  ; rtracks : int
+  ; rheight : int
+  }
+
+let route_placement placement =
+  match Sc_place.Placer.route_channels placement with
+  | rc ->
+    Some
+      { rchannels = List.length rc.Sc_place.Placer.channels
+      ; rtracks =
+          List.fold_left
+            (fun a (r : Sc_route.Channel.routed) -> a + r.tracks)
+            0 rc.Sc_place.Placer.channels
+      ; rheight = rc.Sc_place.Placer.total_height
+      }
+  | exception _ -> None
 
 let layout_of_circuit ?restarts ~name circuit =
   let placement, layout =
@@ -48,98 +68,225 @@ let layout_of_circuit ?restarts ~name circuit =
         let pl = place_circuit ?restarts circuit in
         (pl, Sc_place.Placer.to_layout ~name pl))
   in
-  (* The row channels are left at a fixed pitch in the emitted artwork;
-     routing them is pure measurement (channel heights, track counts),
-     so the route stage only runs when someone is watching. *)
-  if Obs.enabled () then
-    Obs.span "route" (fun () ->
-        match Sc_place.Placer.route_channels placement with
-        | rc ->
-          Obs.count "route.channels"
-            (List.length rc.Sc_place.Placer.channels)
-        | exception _ -> ());
+  Obs.span "route" (fun () ->
+      match route_placement placement with
+      | Some s -> Obs.count "route.channels" s.rchannels
+      | None -> ());
   layout
 
-module Result_cache = struct
-  let store : (compiled * Sc_netlist.Circuit.t) Sc_cache.Cache.t option ref =
-    ref None
+(* --- the pass sequences ----------------------------------------------
+   Every stage both compilation paths run is registered once with
+   Sc_pipeline: the manager derives the span, the Diag boundary, the
+   stage cache and the run log.  Key discipline (see pipeline.mli):
+   same-named passes over different artifact types bake a "style=..."
+   param at the call site; out-of-band knobs (restarts, entry, args)
+   travel as params too, so editing one invalidates exactly the passes
+   downstream of it. *)
 
-  let enable ?dir () =
-    store := Some (Sc_cache.Cache.create ?dir ~name:"behavior" ())
+let parse_pass : (string, Sc_rtl.Ast.design) P.pass =
+  P.register ~name:"parse" (fun src ->
+      match Sc_rtl.Parser.parse src with
+      | Error e -> Error (Diag.v ~stage:"parse" e)
+      | Ok design -> (
+        match Sc_rtl.Check.check design with
+        | e :: _ -> Error (Diag.v ~stage:"parse" ("check: " ^ e))
+        | [] -> Ok design))
 
-  let disable () = store := None
-  let enabled () = Option.is_some !store
-  let stats () = Option.map Sc_cache.Cache.stats !store
+let compile_gates_pass : (Sc_rtl.Ast.design, Sc_netlist.Circuit.t) P.pass =
+  P.register ~name:"compile" (fun design ->
+      Ok (Sc_synth.Synth.translate design))
 
-  let style_tag = function
-    | Random_logic -> "random_logic"
-    | Pla_control -> "pla_control"
+type optimized =
+  { oresult : Sc_synth.Synth.result
+  ; gates_in : int
+  ; gates_out : int
+  }
 
-  (* restarts is part of the key: it changes the placement, hence the
-     layout the digest stands for *)
-  let key ~restarts style src =
-    Sc_cache.Cache.digest
-      (style_tag style ^ ":" ^ string_of_int restarts ^ "\x00" ^ src)
+let optimize_pass : (Sc_netlist.Circuit.t, optimized) P.pass =
+  P.register ~name:"optimize"
+    ~replay:(fun _ o ->
+      Obs.count "optimize.gates_in" o.gates_in;
+      Obs.count "optimize.gates_out" o.gates_out;
+      Sc_synth.Synth.replay_gauges o.oresult)
+    (fun raw ->
+      let gates_in =
+        List.length (Sc_netlist.Circuit.flatten raw).Sc_netlist.Circuit.gates
+      in
+      let r = Sc_synth.Synth.optimize_result raw in
+      Ok
+        { oresult = r
+        ; gates_in
+        ; gates_out =
+            List.length
+              (Sc_netlist.Circuit.flatten r.Sc_synth.Synth.circuit)
+                .Sc_netlist.Circuit.gates
+        })
 
-  exception Failed of string
-end
+type placed =
+  { placement : Sc_place.Placer.placement
+  ; playout : Cell.t
+  }
 
-let rec compile_behavior ?(style = Random_logic) ?(restarts = 0) src =
-  match !Result_cache.store with
-  | None -> compile_behavior_uncached ~style ~restarts src
-  | Some cache -> (
-    (* errors are not cached: only a successful compilation is content
-       worth addressing, and failures are cheap (they stop at parse) *)
-    match
-      Sc_cache.Cache.find_or_add cache
-        (Result_cache.key ~restarts style src)
-        (fun () ->
-          match compile_behavior_uncached ~style ~restarts src with
-          | Ok r -> r
-          | Error e -> raise (Result_cache.Failed e))
-    with
-    | r -> Ok r
-    | exception Result_cache.Failed e -> Error e)
+(* the restarts knob rides in the value but is pinned by the run-site
+   ~param (see the key discipline above), so a --restarts edit
+   invalidates place and everything downstream, nothing upstream *)
+let place_pass : (Sc_netlist.Circuit.t * string * int, placed) P.pass =
+  P.register ~name:"place"
+    ~replay:(fun _ p ->
+      Obs.gauge "place.hpwl" (Sc_place.Placer.hpwl p.placement);
+      Obs.gauge "place.rows" p.placement.Sc_place.Placer.nrows;
+      Obs.gauge "place.cells"
+        (Array.length p.placement.Sc_place.Placer.x))
+    (fun (circuit, name, restarts) ->
+      let pl = place_circuit ~restarts circuit in
+      Ok { placement = pl; playout = Sc_place.Placer.to_layout ~name pl })
 
-and compile_behavior_uncached ~style ~restarts src =
-  let parsed =
-    Obs.span "parse" (fun () ->
-        match Sc_rtl.Parser.parse src with
-        | Error e -> Error ("parse: " ^ e)
-        | Ok design -> (
-          match Sc_rtl.Check.check design with
-          | e :: _ -> Error ("check: " ^ e)
-          | [] -> Ok design))
-  in
-  match parsed with
-  | Error e -> Error e
-  | Ok design -> (
+let route_pass : (Sc_place.Placer.placement, route_summary option) P.pass =
+  P.register ~name:"route"
+    ~replay:(fun _ s ->
+      match s with
+      | None -> ()
+      | Some s ->
+        Obs.count "route.tracks" s.rtracks;
+        Obs.count "route.height" s.rheight;
+        Obs.count "route.channels" s.rchannels)
+    (fun placement ->
+      match route_placement placement with
+      | Some s ->
+        Obs.count "route.channels" s.rchannels;
+        Ok (Some s)
+      | None -> Ok None)
+
+let drc_pass : (Cell.t, int) P.pass =
+  P.register ~name:"drc"
+    ~replay:(fun _ n -> Obs.count "drc.violations" n)
+    (fun layout -> Ok (List.length (Sc_drc.Checker.check layout)))
+
+let emit_pass : (Cell.t, Sc_cif.Emit.emitted) P.pass =
+  P.register ~name:"emit"
+    ~replay:(fun _ e -> Sc_cif.Emit.replay_counters e)
+    (fun layout -> Ok (Sc_cif.Emit.emit layout))
+
+type measured =
+  { marea : int
+  ; mtransistors : int
+  ; mcells : int
+  ; mrects : int
+  }
+
+let measure_gauges m =
+  Obs.gauge "area" m.marea;
+  Obs.gauge "layout.transistors" m.mtransistors;
+  Obs.gauge "layout.cells" m.mcells;
+  Obs.gauge "layout.rects" m.mrects
+
+let measure_pass : (Cell.t, measured) P.pass =
+  P.register ~name:"measure"
+    ~replay:(fun _ m -> measure_gauges m)
+    (fun layout ->
+      let m =
+        { marea = Cell.area layout
+        ; mtransistors = Stats.transistor_count layout
+        ; mcells = List.length (Cell.all_cells layout)
+        ; mrects = Cell.flat_rect_count layout
+        }
+      in
+      measure_gauges m;
+      Ok m)
+
+type pla_compiled =
+  { presult : Sc_synth.Synth.result
+  ; pla : Sc_pla.Generator.t
+  ; state_bits : int
+  ; pname : string
+  }
+
+let compile_pla_pass : (Sc_rtl.Ast.design, pla_compiled) P.pass =
+  P.register ~name:"compile" (fun design ->
+      let r, pla = Sc_synth.Synth.pla_fsm design in
+      Ok
+        { presult = r
+        ; pla
+        ; state_bits =
+            List.fold_left
+              (fun a (d : Sc_rtl.Ast.decl) -> a + d.width)
+              0 design.Sc_rtl.Ast.regs
+        ; pname = design.Sc_rtl.Ast.name
+        })
+
+(* physical view: the PLA block above a row of state registers *)
+let place_pla_pass : (pla_compiled, Cell.t) P.pass =
+  P.register ~name:"place" (fun pc ->
+      if pc.state_bits = 0 then Ok pc.pla.Sc_pla.Generator.layout
+      else
+        let dff = Sc_stdcell.Library.layout_of Sc_netlist.Gate.Dff in
+        Ok
+          (Compose.above ~name:pc.pname ~sep:20
+             (Compose.row ~name:"state_row"
+                (List.init pc.state_bits (fun _ -> dff)))
+             pc.pla.Sc_pla.Generator.layout))
+
+let elaborate_pass : (string * (string option * int list), Cell.t) P.pass =
+  P.register ~name:"elaborate" (fun (src, (entry, args)) ->
+      match Sc_lang.Lang.compile ?entry ~args src with
+      | Ok cell -> Ok cell
+      | Error e -> Error (Diag.v ~stage:"elaborate" (Sc_lang.Lang.error_to_string e)))
+
+(* --- drivers --- *)
+
+let ( let* ) = Result.bind
+
+(* the back half shared by every path: layout -> drc / cif / stats *)
+let finish_layout layout_staged =
+  let* drc = P.run drc_pass layout_staged in
+  let* emitted = P.run emit_pass layout_staged in
+  let* m = P.run measure_pass layout_staged in
+  let mv = P.value m in
+  Ok
+    { layout = P.value layout_staged
+    ; cif = (P.value emitted).Sc_cif.Emit.text
+    ; drc_violations = P.value drc
+    ; area = mv.marea
+    ; transistors = mv.mtransistors
+    }
+
+let compile_behavior ?(style = Random_logic) ?(restarts = 0) src =
+  let* design = P.run parse_pass (P.source src) in
+  let* layout_staged, circuit =
     match style with
     | Random_logic ->
-      let r = Sc_synth.Synth.gates design in
-      let layout =
-        layout_of_circuit ~restarts ~name:design.Sc_rtl.Ast.name
-          r.Sc_synth.Synth.circuit
+      let* raw = P.run ~param:"style=gates" compile_gates_pass design in
+      let* opt = P.run optimize_pass raw in
+      let circuit = (P.value opt).oresult.Sc_synth.Synth.circuit in
+      let* placed =
+        P.run
+          ~param:(Printf.sprintf "style=gates;restarts=%d" restarts)
+          place_pass
+          (P.map
+             (fun o ->
+               let c = o.oresult.Sc_synth.Synth.circuit in
+               (c, c.Sc_netlist.Circuit.cname, restarts))
+             opt)
       in
-      Ok (measure layout, r.Sc_synth.Synth.circuit)
-    | Pla_control -> (
-      match Sc_synth.Synth.pla_fsm design with
-      | r, pla ->
-        (* physical view: the PLA block above a row of state registers *)
-        let state_bits =
-          List.fold_left
-            (fun a (d : Sc_rtl.Ast.decl) -> a + d.width)
-            0 design.Sc_rtl.Ast.regs
-        in
-        let dff = Sc_stdcell.Library.layout_of Sc_netlist.Gate.Dff in
-        let layout =
-          Obs.span "place" (fun () ->
-              if state_bits = 0 then pla.Sc_pla.Generator.layout
-              else
-                Compose.above ~name:design.Sc_rtl.Ast.name ~sep:20
-                  (Compose.row ~name:"state_row"
-                     (List.init state_bits (fun _ -> dff)))
-                  pla.Sc_pla.Generator.layout)
-        in
-        Ok (measure layout, r.Sc_synth.Synth.circuit)
-      | exception Invalid_argument msg -> Error msg))
+      let* _route = P.run route_pass (P.map (fun p -> p.placement) placed) in
+      Ok (P.map (fun p -> p.playout) placed, circuit)
+    | Pla_control ->
+      let* pc = P.run ~param:"style=pla" compile_pla_pass design in
+      let circuit = (P.value pc).presult.Sc_synth.Synth.circuit in
+      let* layout = P.run ~param:"style=pla" place_pla_pass pc in
+      Ok (layout, circuit)
+  in
+  let* c = finish_layout layout_staged in
+  Ok (c, circuit)
+
+let compile_layout ?entry ?(args = []) src =
+  let param =
+    Printf.sprintf "entry=%s;args=%s"
+      (Option.value ~default:"" entry)
+      (String.concat "," (List.map string_of_int args))
+  in
+  let* layout =
+    P.run ~param elaborate_pass
+      (P.map (fun s -> (s, (entry, args))) (P.source src))
+  in
+  finish_layout layout

@@ -9,7 +9,21 @@
     - {!compile_behavior}: behavioral path — ISP text through synthesis,
       placement and cell layout.
 
-    Both end at CIF via {!to_cif}. *)
+    Both are thin drivers over {!Sc_pipeline.Pipeline} pass sequences:
+
+    {v
+    behavioral  parse ─ compile ─ optimize ─ place ─ route   (gates)
+                parse ─ compile ─ place                      (pla)
+    structural  elaborate
+    then, for every path:       ─ drc ─ emit ─ measure
+    v}
+
+    Each pass gets a span, a stage-cache entry and a [Diag] error
+    boundary from the manager; enable {!Sc_pipeline.Pipeline.enable_cache}
+    (or [scc --stage-cache DIR]) and recompiling after a [--restarts]
+    change reruns only place→measure.  Failures come back as
+    {!Sc_pipeline.Diag.t} values — stage name plus message — never as
+    raw exceptions, and are never cached. *)
 
 open Sc_layout
 
@@ -29,43 +43,35 @@ type compiled =
 
 (** Structural path: layout-language source to artwork. *)
 val compile_layout :
-  ?entry:string -> ?args:int list -> string -> (compiled, string) result
+  ?entry:string ->
+  ?args:int list ->
+  string ->
+  (compiled, Sc_pipeline.Diag.t) result
 
 (** Behavioral path: ISP source to a placed layout of standard cells (or
     a PLA plus registers).  Also returns the synthesized circuit.
-    [restarts] is forwarded to {!layout_of_circuit} (multi-start
-    placement; default 0). *)
+    [restarts] selects multi-start placement (default 0; it is a
+    place-pass parameter, so under a stage cache changing it leaves
+    parse/compile/optimize hits). *)
 val compile_behavior :
   ?style:behavior_style ->
   ?restarts:int ->
   string ->
-  (compiled * Sc_netlist.Circuit.t, string) result
+  (compiled * Sc_netlist.Circuit.t, Sc_pipeline.Diag.t) result
 
 (** Place a gate-level circuit as standard-cell rows (the physical view
     used by the behavioral path and experiments).  [restarts] > 0 runs
     that many extra random-start placements concurrently on the default
     worker pool ({!Sc_place.Placer.best_of}) and keeps the lowest-HPWL
-    result; the default 0 is the constructive placement alone. *)
+    result; the default 0 is the constructive placement alone.  The
+    route-measurement stage runs unconditionally, so
+    [route.tracks]/[route.height]/[route.channels] are always reported
+    when a recorder is on. *)
 val layout_of_circuit :
   ?restarts:int -> name:string -> Sc_netlist.Circuit.t -> Cell.t
 
 (** Emit a cell hierarchy as CIF text ({!Sc_cif.Emit.to_string}). *)
 val to_cif : Cell.t -> string
-
-(** Whole-compilation memoization for the behavioral path.  When
-    enabled, {!compile_behavior} is keyed by the digest of (style,
-    source text): an identical request returns the stored
-    [compiled * circuit] without re-synthesizing.  With [?dir] the
-    store persists across processes ({!Sc_cache.Cache}); failed
-    compilations are never cached.  Disabled by default. *)
-module Result_cache : sig
-  val enable : ?dir:string -> unit -> unit
-  val disable : unit -> unit
-  val enabled : unit -> bool
-
-  (** [None] when disabled. *)
-  val stats : unit -> Sc_cache.Cache.stats option
-end
 
 (** Measure an existing layout the same way the compilers do. *)
 val measure : Cell.t -> compiled

@@ -204,7 +204,7 @@ end
 let parse src =
   match Sc_rtl.Parser.parse src with
   | Ok d -> d
-  | Error e -> failwith ("Designs.parse: " ^ e)
+  | Error e -> Sc_pipeline.Diag.fail ~stage:"parse" e
 
 (* --- hand-built structural baselines --- *)
 

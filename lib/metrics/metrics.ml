@@ -21,7 +21,8 @@ let has_suffix suf s =
 
 let is_runtime_key k =
   has_prefix "stage." k || has_prefix "cache." k || has_prefix "pool." k
-  || has_suffix ".tasks" k || has_suffix ".calls" k
+  || has_prefix "pipeline." k || has_suffix ".tasks" k
+  || has_suffix ".calls" k
 
 (* --- capture --- *)
 

@@ -40,8 +40,9 @@ type snapshot =
 val schema_version : int
 
 val is_runtime_key : string -> bool
-(** Keys under ["stage."], ["cache."], ["pool."] or ending in
-    [".tasks"]/[".calls"] are runtime; everything else is QoR. *)
+(** Keys under ["stage."], ["cache."], ["pool."], ["pipeline."] or
+    ending in [".tasks"]/[".calls"] are runtime; everything else is
+    QoR. *)
 
 val capture : design:string -> unit -> snapshot
 (** Build a snapshot from the current [Obs] recorder state: global

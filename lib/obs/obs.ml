@@ -64,6 +64,13 @@ let span name f =
   if not !on then f ()
   else begin
     let stack = stack () in
+    match !stack with
+    | top :: _ when top.fname = name ->
+      (* re-entrant: a span opened inside a same-named span merges with
+         it, so a pass manager wrapping "drc" around a checker that
+         already opens "drc" yields one stage row, not "drc.drc" *)
+      f ()
+    | _ ->
     let parent = match !stack with [] -> None | p :: _ -> Some p in
     let fpath =
       match parent with None -> name | Some p -> p.fpath ^ "." ^ name

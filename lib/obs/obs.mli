@@ -59,7 +59,14 @@ val set_clock : (unit -> float) -> unit
 val span : string -> (unit -> 'a) -> 'a
 (** [span name f] runs [f ()], timing it as one hierarchical span.  The
     event is recorded even when [f] raises (the exception propagates).
-    A single branch when disabled. *)
+    A single branch when disabled.
+
+    Re-entrant spans merge: opening [span "x"] while the innermost open
+    span on this domain is already named ["x"] does not start a child —
+    [f] runs inside the existing frame.  This keeps stage paths stable
+    when a driver (e.g. {!Sc_pipeline.Pipeline.run}) wraps a uniform
+    span around code that opens its own identically-named span: the
+    table shows one ["drc"] row, never ["drc.drc"]. *)
 
 val count : string -> int -> unit
 (** [count name n] adds [n] to counter [name], both globally and on the

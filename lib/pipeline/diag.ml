@@ -1,0 +1,25 @@
+type t =
+  { stage : string
+  ; message : string
+  }
+
+exception Error of t
+
+let v ~stage message = { stage; message }
+let fail ~stage message = raise (Error { stage; message })
+
+let failf ~stage fmt =
+  Format.kasprintf (fun message -> fail ~stage message) fmt
+
+let of_exn ~stage = function
+  | Error d -> d
+  | e -> { stage; message = Printexc.to_string e }
+
+let to_string d = d.stage ^ ": " ^ d.message
+
+(* registering a printer keeps accidental escapes readable in test
+   output and crash logs *)
+let () =
+  Printexc.register_printer (function
+    | Error d -> Some ("Diag.Error (" ^ to_string d ^ ")")
+    | _ -> None)

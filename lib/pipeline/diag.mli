@@ -1,0 +1,37 @@
+(** Structured stage diagnostics.
+
+    Every pass failure in the compiler is a [Diag.t]: the name of the
+    stage that failed plus a human-readable message.  Drivers print
+    ["stage: message"] and exit nonzero — the user never sees a raw
+    OCaml backtrace for an input problem (a malformed design, an FSM
+    too wide for the PLA generator, an unbound entry cell).
+
+    Deep code that cannot return a [result] raises {!Error}; the pass
+    manager ({!Pipeline.run}) catches it at the stage boundary and
+    turns it back into a value.  Code outside the pipeline that calls
+    such a function directly (tests, benches) should match on
+    [exception Diag.Error d]. *)
+
+type t =
+  { stage : string  (** pass that failed, e.g. ["parse"], ["compile"] *)
+  ; message : string
+  }
+
+exception Error of t
+
+val v : stage:string -> string -> t
+(** [v ~stage msg] — a diagnostic value. *)
+
+val fail : stage:string -> string -> 'a
+(** [fail ~stage msg] raises {!Error}. *)
+
+val failf : stage:string -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** Formatted {!fail}. *)
+
+val of_exn : stage:string -> exn -> t
+(** Adopt an arbitrary exception at a stage boundary: an {!Error}
+    keeps its own stage; anything else is printed with
+    [Printexc.to_string] under [stage]. *)
+
+val to_string : t -> string
+(** ["stage: message"]. *)

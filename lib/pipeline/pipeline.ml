@@ -1,0 +1,171 @@
+module Cache = Sc_cache.Cache
+module Obs = Sc_obs.Obs
+
+type 'a staged =
+  { value : 'a
+  ; key : string
+  }
+
+let value s = s.value
+let key s = s.key
+
+let source text = { value = text; key = Cache.digest ("source\x00" ^ text) }
+
+let inject ~tag ~repr v =
+  { value = v; key = Cache.digest (tag ^ "\x00" ^ repr) }
+
+let pair a b = { value = (a.value, b.value); key = Cache.digest (a.key ^ "+" ^ b.key) }
+
+let map f s = { value = f s.value; key = s.key }
+
+(* --- global cache configuration --- *)
+
+(* one store per pass, created lazily against the configuration that is
+   current when the pass first runs; a dir change re-homes stores on
+   their next use *)
+type config =
+  { mutable cdir : string option
+  ; mutable ccap : int
+  ; mutable cenabled : bool
+  }
+
+let config = { cdir = None; ccap = 256; cenabled = false }
+
+type ('a, 'b) pass =
+  { name : string
+  ; version : int
+  ; f : 'a -> ('b, Diag.t) result
+  ; replay : ('a -> 'b -> unit) option
+  ; mutable store : (string option * 'b Cache.t) option
+  }
+
+(* existentially-packed view of each pass for stats/clear *)
+type registered =
+  { rname : string
+  ; rstats : unit -> Cache.stats option
+  ; rclear : unit -> unit
+  }
+
+let registry : registered list ref = ref []
+let reg_lock = Mutex.create ()
+
+let register ?(version = 1) ?replay ~name f =
+  let pass = { name; version; f; replay; store = None } in
+  let entry =
+    { rname = name
+    ; rstats = (fun () -> Option.map (fun (_, c) -> Cache.stats c) pass.store)
+    ; rclear = (fun () -> pass.store <- None)
+    }
+  in
+  Mutex.protect reg_lock (fun () -> registry := entry :: !registry);
+  pass
+
+let enable_cache ?(capacity = 256) ?dir () =
+  config.cdir <- dir;
+  config.ccap <- capacity;
+  config.cenabled <- true
+
+let disable_cache () = config.cenabled <- false
+let cache_enabled () = config.cenabled
+
+let clear_caches () =
+  Mutex.protect reg_lock (fun () -> List.iter (fun r -> r.rclear ()) !registry)
+
+let cache_stats () =
+  Mutex.protect reg_lock (fun () ->
+      List.fold_left
+        (fun acc r ->
+          match r.rstats () with
+          | Some s -> (r.rname, s) :: acc
+          | None -> acc)
+        [] !registry)
+
+let store_for pass =
+  if not config.cenabled then None
+  else
+    match pass.store with
+    | Some (dir, c) when dir = config.cdir -> Some c
+    | _ ->
+      let c =
+        Cache.create ~capacity:config.ccap ?dir:config.cdir ~name:pass.name ()
+      in
+      pass.store <- Some (config.cdir, c);
+      Some c
+
+(* --- run log --- *)
+
+type status = Ran | Hit | Disk_hit | Failed
+
+let status_to_string = function
+  | Ran -> "ran"
+  | Hit -> "hit (memory)"
+  | Disk_hit -> "hit (disk)"
+  | Failed -> "failed"
+
+let status_key = function
+  | Ran -> "ran"
+  | Hit -> "hit"
+  | Disk_hit -> "disk_hit"
+  | Failed -> "failed"
+
+let journal : (string * status) list ref = ref [] (* reverse order *)
+let jlock = Mutex.create ()
+
+let reset_log () = Mutex.protect jlock (fun () -> journal := [])
+let log () = Mutex.protect jlock (fun () -> List.rev !journal)
+
+let note_status name st =
+  Mutex.protect jlock (fun () -> journal := (name, st) :: !journal);
+  Obs.count ("pipeline." ^ name ^ "." ^ status_key st) 1
+
+let pp_explain ppf () =
+  List.iter
+    (fun (name, st) ->
+      Format.fprintf ppf "explain: %-10s %s@." name (status_to_string st))
+    (log ())
+
+(* --- the manager --- *)
+
+let run ?(param = "") pass input =
+  let out_key =
+    Cache.digest
+      (pass.name ^ "#" ^ string_of_int pass.version ^ "|" ^ param ^ "|"
+     ^ input.key)
+  in
+  let exec () =
+    Obs.span pass.name (fun () ->
+        match pass.f input.value with
+        | r -> r
+        | exception Diag.Error d -> Error d
+        | exception e -> Error (Diag.of_exn ~stage:pass.name e))
+  in
+  let replay v =
+    if Obs.enabled () then
+      Obs.span pass.name (fun () ->
+          match pass.replay with None -> () | Some g -> g input.value v)
+  in
+  let ok st v =
+    note_status pass.name st;
+    Ok { value = v; key = out_key }
+  in
+  let failed d =
+    note_status pass.name Failed;
+    Error d
+  in
+  match store_for pass with
+  | None -> (
+    match exec () with Ok v -> ok Ran v | Error d -> failed d)
+  | Some cache -> (
+    match Cache.lookup cache out_key with
+    | `Memory v ->
+      replay v;
+      ok Hit v
+    | `Disk v ->
+      replay v;
+      ok Disk_hit v
+    | `Absent -> (
+      match exec () with
+      | Ok v ->
+        Cache.add cache out_key v;
+        ok Ran v
+      | Error d -> failed d))

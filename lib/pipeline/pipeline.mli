@@ -1,0 +1,128 @@
+(** A typed pass manager with per-stage content-addressed caching.
+
+    Both compilation paths — behavioral
+    (parse → compile → optimize → place → route → drc → emit → measure)
+    and structural (elaborate → drc → emit → measure) — are sequences
+    of {e passes} over {e staged} values.  A staged value carries its
+    content {e key}: the digest of everything that went into producing
+    it.  Registering a pass once buys, uniformly:
+
+    - an {!Sc_obs.Obs} span named after the pass;
+    - a structured {!Diag} error channel (a pass returns
+      [(_, Diag.t) result]; raised {!Diag.Error}s and stray exceptions
+      are caught at the stage boundary) — failures are values, never
+      cached;
+    - a per-pass {!Sc_cache.Cache} entry keyed on
+      [digest (name # version | param | input key)], in memory and —
+      with {!enable_cache}[ ~dir] — on disk, so identical inputs are
+      stage-level hits and an edited parameter (say [--restarts])
+      invalidates only the passes downstream of it;
+    - a ["pipeline.<name>.<status>"] counter and a run-log entry for
+      [--explain].
+
+    {2 Key discipline}
+
+    The cache key never includes observability state or pool width, so
+    instrumented/uninstrumented and [-j 1]/[-j 4] runs share entries.
+    Everything that {e does} affect the artifact must reach the key:
+    either via the staged input (its key chains all upstream digests)
+    or via [run ~param] for out-of-band knobs (placement restarts,
+    entry cell, style).  Two passes registered under the same [name]
+    {b must} bake a distinguishing [~param] at every call site
+    (e.g. ["style=gates"] vs ["style=pla"]) — the per-pass store is
+    shared by name on disk, and colliding keys across artifact types
+    would confuse [Marshal].
+
+    {2 Warm-run telemetry}
+
+    A cache hit skips the deep code that emits QoR counters, so each
+    pass may register a [replay] hook that re-emits the counters
+    derivable from (input, artifact).  Replay runs inside the pass's
+    span, only when {!Sc_obs.Obs.enabled}, which keeps warm QoR
+    snapshots byte-identical to cold ones. *)
+
+type 'a staged = private
+  { value : 'a
+  ; key : string  (** content digest of everything producing [value] *)
+  }
+
+val value : 'a staged -> 'a
+val key : 'a staged -> string
+
+val source : string -> string staged
+(** Stage a source text; the key is its digest. *)
+
+val inject : tag:string -> repr:string -> 'a -> 'a staged
+(** Stage an out-of-band value whose identity is [repr] (must be a
+    faithful rendering: equal reprs ⇒ interchangeable values).  [tag]
+    namespaces the digest. *)
+
+val pair : 'a staged -> 'b staged -> ('a * 'b) staged
+(** Combine two staged values; the key chains both keys. *)
+
+val map : ('a -> 'b) -> 'a staged -> 'b staged
+(** A pure view of a staged value: the key is unchanged, so [f] must
+    not add information that isn't already pinned by the key. *)
+
+(** {2 Passes} *)
+
+type ('a, 'b) pass
+
+val register :
+  ?version:int ->
+  ?replay:('a -> 'b -> unit) ->
+  name:string ->
+  ('a -> ('b, Diag.t) result) ->
+  ('a, 'b) pass
+(** [register ~name f] — a pass computing ['b] from ['a].  Bump
+    [version] (default 1) whenever [f]'s semantics change: it is part
+    of the cache key, so stale on-disk artifacts are never replayed.
+    [replay] re-emits the pass's QoR counters from (input, artifact)
+    on a cache hit; see the module preamble.  The artifact type must
+    be [Marshal]-safe (no closures) for the disk layer. *)
+
+val run :
+  ?param:string -> ('a, 'b) pass -> 'a staged -> ('b staged, Diag.t) result
+(** Run a pass on a staged input: derive the output key, consult the
+    pass's cache (when enabled), execute inside an Obs span on a miss,
+    record the outcome in the run log.  Errors are returned as values
+    and never enter the cache. *)
+
+(** {2 Cache control} *)
+
+val enable_cache : ?capacity:int -> ?dir:string -> unit -> unit
+(** Turn on per-pass caching (process-global).  Without [dir] the
+    stores are memory-only; with it, artifacts persist to
+    [dir/<pass>-<digest>] and survive the process.  Calling again with
+    a different [dir] re-homes every store lazily. *)
+
+val disable_cache : unit -> unit
+(** Stop consulting/filling the stores (their contents are kept and
+    revived by a later {!enable_cache} with the same [dir]). *)
+
+val cache_enabled : unit -> bool
+
+val clear_caches : unit -> unit
+(** Drop every pass's in-memory store and its counters (disk entries
+    are left alone) — "process restart" for tests and benches. *)
+
+val cache_stats : unit -> (string * Sc_cache.Cache.stats) list
+(** Stats per pass that has a live store, in registration order. *)
+
+(** {2 Run log — [--explain]} *)
+
+type status =
+  | Ran  (** executed (cache miss or caching disabled) *)
+  | Hit  (** served from the in-memory store *)
+  | Disk_hit  (** served from the on-disk store *)
+  | Failed  (** executed and returned a [Diag] *)
+
+val status_to_string : status -> string
+
+val reset_log : unit -> unit
+
+val log : unit -> (string * status) list
+(** Pass outcomes since {!reset_log}, in execution order. *)
+
+val pp_explain : Format.formatter -> unit -> unit
+(** One ["explain: <pass> <status>"] line per log entry. *)

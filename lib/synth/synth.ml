@@ -159,12 +159,14 @@ and compile_stmt design b read_env env = function
         merge_env design b read_env hit env_case acc)
       base cases
 
-let gates ?(optimize = true) ?(selfcheck = false) design =
-  (match Sc_rtl.Check.check design with
+let check_design ~stage design =
+  match Sc_rtl.Check.check design with
   | [] -> ()
-  | e :: _ -> invalid_arg ("Synth.gates: " ^ e));
-  let circuit =
-    Sc_obs.Obs.span "compile" @@ fun () ->
+  | e :: _ -> Sc_pipeline.Diag.fail ~stage e
+
+let translate design =
+  check_design ~stage:"compile" design;
+  Sc_obs.Obs.span "compile" @@ fun () ->
   let b = Builder.create design.Ast.name in
   let env = ref SMap.empty in
   List.iter
@@ -198,37 +200,49 @@ let gates ?(optimize = true) ?(selfcheck = false) design =
     (fun (d : Ast.decl) -> Builder.output b d.dname (SMap.find d.dname final))
     design.Ast.outputs;
   Builder.finish b
+
+let replay_gauges r =
+  Sc_obs.Obs.gauge "gates" r.stats.Circuit.gate_total;
+  Sc_obs.Obs.gauge "flipflops" r.stats.Circuit.flipflops;
+  Sc_obs.Obs.gauge "transistors" r.stats.Circuit.transistors
+
+let result_of circuit =
+  let r =
+    { circuit
+    ; stats = Circuit.stats circuit
+    ; cell_area = Sc_stdcell.Library.circuit_cell_area circuit
+    ; critical_path = Timing.critical_path circuit
+    }
   in
-  let raw = circuit in
-  let circuit = if optimize then Optimize.simplify circuit else circuit in
-  if selfcheck && optimize then begin
-    (* certify the optimizer preserved the synthesized function — a
-       combinational proof, or a bounded one when registers are present *)
-    match Sc_equiv.Checker.check ~k:4 raw circuit with
-    | Sc_equiv.Checker.Equivalent -> ()
-    | Sc_equiv.Checker.Not_equivalent _ as v ->
-      failwith
-        (Format.asprintf "Synth.gates: self-check failed for %s: %a"
-           design.Ast.name Sc_equiv.Checker.pp_verdict v)
-  end;
-  let stats = Circuit.stats circuit in
-  Sc_obs.Obs.gauge "gates" stats.Circuit.gate_total;
-  Sc_obs.Obs.gauge "flipflops" stats.Circuit.flipflops;
-  Sc_obs.Obs.gauge "transistors" stats.Circuit.transistors;
-  { circuit
-  ; stats
-  ; cell_area = Sc_stdcell.Library.circuit_cell_area circuit
-  ; critical_path = Timing.critical_path circuit
-  }
+  replay_gauges r;
+  r
+
+let optimize_result circuit = result_of (Optimize.simplify circuit)
+
+let gates ?(optimize = true) ?(selfcheck = false) design =
+  let raw = translate design in
+  if not optimize then result_of raw
+  else begin
+    let r = optimize_result raw in
+    if selfcheck then begin
+      (* certify the optimizer preserved the synthesized function — a
+         combinational proof, or a bounded one when registers are present *)
+      match Sc_equiv.Checker.check ~k:4 raw r.circuit with
+      | Sc_equiv.Checker.Equivalent -> ()
+      | Sc_equiv.Checker.Not_equivalent _ as v ->
+        Sc_pipeline.Diag.failf ~stage:"selfcheck"
+          "optimizer divergence for %s: %a" design.Ast.name
+          Sc_equiv.Checker.pp_verdict v
+    end;
+    r
+  end
 
 (* --- the PLA backend: FSM extraction through the reference semantics --- *)
 
 let max_bits = 12
 
 let pla_fsm ?(minimize = true) design =
-  (match Sc_rtl.Check.check design with
-  | [] -> ()
-  | e :: _ -> invalid_arg ("Synth.pla_fsm: " ^ e));
+  check_design ~stage:"compile" design;
   let in_bits =
     List.fold_left (fun a (d : Ast.decl) -> a + d.width) 0 design.Ast.inputs
   in
@@ -240,9 +254,8 @@ let pla_fsm ?(minimize = true) design =
   in
   let total_in = in_bits + state_bits in
   if total_in > max_bits then
-    invalid_arg
-      (Printf.sprintf "Synth.pla_fsm: %d state+input bits exceed %d" total_in
-         max_bits);
+    Sc_pipeline.Diag.failf ~stage:"compile"
+      "pla_fsm: %d state+input bits exceed %d" total_in max_bits;
   let pla =
     Sc_obs.Obs.span "compile" @@ fun () ->
   let interp = Sc_rtl.Interp.create design in

@@ -29,21 +29,40 @@ type result =
   ; critical_path : int  (** tau units *)
   }
 
+val translate : Sc_rtl.Ast.design -> Circuit.t
+(** The raw structural translation, before any optimization — the
+    pipeline's "compile" pass.
+    @raise Sc_pipeline.Diag.Error when the design fails
+    {!Sc_rtl.Check.check} (stage ["compile"]). *)
+
+val optimize_result : Circuit.t -> result
+(** Run {!Sc_netlist.Optimize.simplify} and package the outcome with
+    its stats/area/timing, emitting the gate-count gauges — the
+    pipeline's "optimize" pass. *)
+
+val replay_gauges : result -> unit
+(** Re-emit the [gates]/[flipflops]/[transistors] gauges a fresh
+    {!optimize_result} would have emitted — used by stage-cache hits to
+    keep warm QoR snapshots identical to cold ones. *)
+
 (** [gates ?optimize ?selfcheck design] — [optimize] (default true) runs
     {!Sc_netlist.Optimize.simplify} on the result (constant folding, CSE,
     dead-gate removal); the E2 ablation toggles it.  [selfcheck] (default
     false) formally equivalence-checks the optimized circuit against the
     raw translation with {!Sc_equiv.Checker.check} (bounded to 4 cycles
-    when registers are present) and raises [Failure] on any divergence —
-    the compiler certifying its own optimizer.
-    @raise Invalid_argument when the design fails {!Sc_rtl.Check.check}. *)
+    when registers are present) — the compiler certifying its own
+    optimizer.
+    @raise Sc_pipeline.Diag.Error when the design fails
+    {!Sc_rtl.Check.check} (stage ["compile"]) or the self-check
+    diverges (stage ["selfcheck"]). *)
 val gates : ?optimize:bool -> ?selfcheck:bool -> Sc_rtl.Ast.design -> result
 
 (** Largest state+input bit count {!pla_fsm} will enumerate (the FSM
     extraction tabulates all [2^n] points of the transition function). *)
 val max_bits : int
 
-(** @raise Invalid_argument when state+input bits exceed [max_bits]. *)
+(** @raise Sc_pipeline.Diag.Error (stage ["compile"]) when state+input
+    bits exceed [max_bits] or the design fails {!Sc_rtl.Check.check}. *)
 val pla_fsm : ?minimize:bool -> Sc_rtl.Ast.design -> result * Sc_pla.Generator.t
 
 (** [verify_against_interp design circuit cycles stim] — drive both the

@@ -1,5 +1,6 @@
 (* The content-addressed memo store: LRU accounting, disk persistence,
-   and the whole-compilation result cache wired into the compiler. *)
+   the value-level lookup/add tier, and the per-stage pipeline cache
+   wired into the compiler. *)
 
 open Sc_cache
 
@@ -72,26 +73,60 @@ let test_disk_persistence () =
   check_int "recomputed after remove" 7
     (Cache.find_or_add c3 (k "pdp8") (fun () -> 7))
 
-let test_compiler_result_cache () =
+let test_lookup_add () =
+  let c : int Cache.t = Cache.create ~capacity:2 ~name:"t" () in
+  (match Cache.lookup c (k "a") with
+  | `Absent -> ()
+  | _ -> Alcotest.fail "fresh key should be absent");
+  Cache.add c (k "a") 1;
+  (match Cache.lookup c (k "a") with
+  | `Memory 1 -> ()
+  | _ -> Alcotest.fail "added key should hit in memory");
+  let s = Cache.stats c in
+  check_int "add records the miss" 1 s.Cache.misses;
+  check_int "lookup records the hit" 1 s.Cache.hits;
+  (* probing an absent key counts nothing: the miss belongs to add *)
+  (match Cache.lookup c (k "b") with `Absent -> () | _ -> Alcotest.fail "b");
+  check_int "absent probe is not a miss" 1 (Cache.stats c).Cache.misses;
+  with_temp_dir @@ fun dir ->
+  let d1 : int Cache.t = Cache.create ~dir ~name:"d" () in
+  Cache.add d1 (k "x") 9;
+  let d2 : int Cache.t = Cache.create ~dir ~name:"d" () in
+  (match Cache.lookup d2 (k "x") with
+  | `Disk 9 -> ()
+  | _ -> Alcotest.fail "fresh store over the same dir should hit disk");
+  match Cache.lookup d2 (k "x") with
+  | `Memory 9 -> ()
+  | _ -> Alcotest.fail "a disk hit should load the value into memory"
+
+(* the stage cache under the compiler: per-pass stores, errors uncached *)
+let test_compiler_stage_cache () =
   let module C = Sc_core.Compiler in
-  C.Result_cache.disable ();
-  check_bool "disabled by default" false (C.Result_cache.enabled ());
-  C.Result_cache.enable ();
-  Fun.protect ~finally:C.Result_cache.disable @@ fun () ->
+  let module P = Sc_pipeline.Pipeline in
+  P.disable_cache ();
+  P.clear_caches ();
+  check_bool "disabled by default" false (P.cache_enabled ());
+  P.enable_cache ();
+  Fun.protect
+    ~finally:(fun () ->
+      P.disable_cache ();
+      P.clear_caches ())
+  @@ fun () ->
   let src = Sc_core.Designs.counter_src in
   let cif r =
     match r with
     | Ok (compiled, _) -> compiled.C.cif
-    | Error e -> Alcotest.failf "compile failed: %s" e
+    | Error d ->
+      Alcotest.failf "compile failed: %s" (Sc_pipeline.Diag.to_string d)
   in
   let first = cif (C.compile_behavior src) in
   let second = cif (C.compile_behavior src) in
   check_bool "identical result" true (String.equal first second);
-  (match C.Result_cache.stats () with
-  | None -> Alcotest.fail "stats expected while enabled"
+  (match List.assoc_opt "parse" (P.cache_stats ()) with
+  | None -> Alcotest.fail "parse store expected while enabled"
   | Some s ->
-    check_int "one compilation" 1 s.Cache.misses;
-    check_int "one hit" 1 s.Cache.hits);
+    check_int "one parse" 1 s.Cache.misses;
+    check_int "one parse hit" 1 s.Cache.hits);
   (* errors are never cached: the bad source stores nothing, and asking
      again still reports the error rather than a stale entry *)
   (match C.compile_behavior "definitely not ISP" with
@@ -100,8 +135,8 @@ let test_compiler_result_cache () =
   (match C.compile_behavior "definitely not ISP" with
   | Ok _ -> Alcotest.fail "expected a parse error again"
   | Error _ -> ());
-  match C.Result_cache.stats () with
-  | None -> Alcotest.fail "stats expected while enabled"
+  match List.assoc_opt "parse" (P.cache_stats ()) with
+  | None -> Alcotest.fail "parse store expected while enabled"
   | Some s ->
     check_int "failures not stored" 1 s.Cache.entries;
     check_int "failures not counted as stored misses" 1 s.Cache.misses
@@ -112,6 +147,7 @@ let suite =
       test_lru_eviction_and_stats
   ; Alcotest.test_case "capacity clamped" `Quick test_capacity_clamped
   ; Alcotest.test_case "disk persistence" `Quick test_disk_persistence
-  ; Alcotest.test_case "compiler result cache" `Quick
-      test_compiler_result_cache
+  ; Alcotest.test_case "lookup/add tiers" `Quick test_lookup_add
+  ; Alcotest.test_case "compiler stage cache" `Quick
+      test_compiler_stage_cache
   ]

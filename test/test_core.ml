@@ -99,14 +99,14 @@ cell tile() { box metal 0 0 8 4; box diff 0 6 8 9; }
 cell main(n) { for i = 0 to n-1 { inst tile() at (i*12, 0); } }
 |}
   with
-  | Error e -> Alcotest.fail e
+  | Error d -> Alcotest.fail (Sc_pipeline.Diag.to_string d)
   | Ok c ->
     check_int "drc clean" 0 c.Compiler.drc_violations;
     check_bool "cif emitted" true (String.length c.Compiler.cif > 0)
 
 let test_compile_behavior_path () =
   match Compiler.compile_behavior Designs.counter_src with
-  | Error e -> Alcotest.fail e
+  | Error d -> Alcotest.fail (Sc_pipeline.Diag.to_string d)
   | Ok (c, circuit) ->
     check_int "drc clean" 0 c.Compiler.drc_violations;
     check_bool "has transistors" true (c.Compiler.transistors > 0);
@@ -115,16 +115,19 @@ let test_compile_behavior_path () =
 
 let test_compile_behavior_pla_path () =
   match Compiler.compile_behavior ~style:Compiler.Pla_control Designs.traffic_src with
-  | Error e -> Alcotest.fail e
+  | Error d -> Alcotest.fail (Sc_pipeline.Diag.to_string d)
   | Ok (c, _) -> check_int "drc clean" 0 c.Compiler.drc_violations
 
 let test_behavior_error_reporting () =
   (match Compiler.compile_behavior "module x; broken" with
-  | Error _ -> ()
+  | Error d ->
+    Alcotest.(check string) "parse error carries its stage" "parse"
+      d.Sc_pipeline.Diag.stage
   | Ok _ -> Alcotest.fail "expected parse error");
   match Compiler.compile_behavior "module x; outputs y[1]; behavior end" with
-  | Error e ->
-    check_bool "check error surfaced" true (String.length e > 0)
+  | Error d ->
+    check_bool "check error surfaced" true
+      (String.length (Sc_pipeline.Diag.to_string d) > 0)
   | Ok _ -> Alcotest.fail "expected check error"
 
 let suite =

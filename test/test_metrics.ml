@@ -168,7 +168,8 @@ let capture_counter () =
      Sc_core.Compiler.compile_behavior ~restarts:3 Sc_core.Designs.counter_src
    with
   | Ok _ -> ()
-  | Error e -> Alcotest.failf "counter compile failed: %s" e);
+  | Error d ->
+    Alcotest.failf "counter compile failed: %s" (Sc_pipeline.Diag.to_string d));
   M.capture ~design:"counter" ()
 
 let test_qor_pool_identity () =

@@ -173,7 +173,7 @@ let test_compiler_stages () =
   with_recorder @@ fun () ->
   (match Sc_core.Compiler.compile_behavior Sc_core.Designs.counter_src with
   | Ok _ -> ()
-  | Error e -> Alcotest.fail e);
+  | Error d -> Alcotest.fail (Sc_pipeline.Diag.to_string d));
   let rows = Obs.stage_table () in
   List.iter
     (fun stage ->

@@ -1,0 +1,266 @@
+(* lib/pipeline: staged keys, the pass manager's cache/error/log
+   contracts, and the incremental-invalidation matrix over the real
+   compiler.  The pipeline's stores, run log and the Obs recorder are
+   all process-global, so every test resets what it touches on the way
+   out. *)
+
+module P = Sc_pipeline.Pipeline
+module Diag = Sc_pipeline.Diag
+module Obs = Sc_obs.Obs
+module M = Sc_metrics.Metrics
+module C = Sc_core.Compiler
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let with_clean_pipeline f =
+  P.disable_cache ();
+  P.clear_caches ();
+  P.reset_log ();
+  Fun.protect
+    ~finally:(fun () ->
+      P.disable_cache ();
+      P.clear_caches ();
+      P.reset_log ())
+    f
+
+let with_recorder f =
+  Obs.reset ();
+  Obs.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.disable ();
+      Obs.reset ())
+    f
+
+(* --- staged values --- *)
+
+let test_staged_keys () =
+  let a = P.source "module x;" in
+  let a' = P.source "module x;" in
+  let b = P.source "module y;" in
+  Alcotest.(check string) "same source, same key" (P.key a) (P.key a');
+  check_bool "different source, different key" true (P.key a <> P.key b);
+  let r3 = P.inject ~tag:"restarts" ~repr:"3" 3 in
+  let r5 = P.inject ~tag:"restarts" ~repr:"5" 5 in
+  check_bool "inject repr reaches the key" true (P.key r3 <> P.key r5);
+  check_int "inject carries the value" 3 (P.value r3);
+  let p = P.pair a r3 in
+  let p' = P.pair a' (P.inject ~tag:"restarts" ~repr:"3" 3) in
+  Alcotest.(check string) "pair key is deterministic" (P.key p) (P.key p');
+  check_bool "pair key differs from both parts" true
+    (P.key p <> P.key a && P.key p <> P.key r3);
+  let m = P.map String.length a in
+  Alcotest.(check string) "map keeps the key" (P.key a) (P.key m);
+  check_int "map applies" 9 (P.value m)
+
+(* --- pass execution, caching, errors --- *)
+
+let test_pass_cache_and_log () =
+  with_clean_pipeline @@ fun () ->
+  let runs = ref 0 in
+  let double =
+    P.register ~name:"unit_double" (fun n ->
+        incr runs;
+        Ok (n * 2))
+  in
+  let input = P.inject ~tag:"n" ~repr:"21" 21 in
+  (* disabled: every run executes *)
+  (match P.run double input with
+  | Ok out -> check_int "computes" 42 (P.value out)
+  | Error d -> Alcotest.fail (Diag.to_string d));
+  ignore (P.run double input);
+  check_int "no caching while disabled" 2 !runs;
+  Alcotest.(check (list (pair string string)))
+    "log records both executions"
+    [ ("unit_double", "ran"); ("unit_double", "ran") ]
+    (List.map (fun (n, s) -> (n, P.status_to_string s)) (P.log ()));
+  (* enabled: miss then hit, and the hit returns the same key *)
+  P.enable_cache ();
+  P.reset_log ();
+  let k1 =
+    match P.run double input with
+    | Ok out -> P.key out
+    | Error d -> Alcotest.fail (Diag.to_string d)
+  in
+  let k2 =
+    match P.run double input with
+    | Ok out -> P.key out
+    | Error d -> Alcotest.fail (Diag.to_string d)
+  in
+  check_int "second run is a hit" 3 !runs;
+  Alcotest.(check string) "hit reproduces the key" k1 k2;
+  Alcotest.(check (list (pair string string)))
+    "log shows miss then hit"
+    [ ("unit_double", "ran"); ("unit_double", "hit (memory)") ]
+    (List.map (fun (n, s) -> (n, P.status_to_string s)) (P.log ()));
+  (* params split the key space *)
+  (match P.run ~param:"mode=a" double input with
+  | Ok _ -> ()
+  | Error d -> Alcotest.fail (Diag.to_string d));
+  check_int "a new param is a miss" 4 !runs;
+  (* version bumps invalidate *)
+  let double_v2 =
+    P.register ~version:2 ~name:"unit_double" (fun n ->
+        incr runs;
+        Ok (n * 2))
+  in
+  (match P.run double_v2 input with
+  | Ok _ -> ()
+  | Error d -> Alcotest.fail (Diag.to_string d));
+  check_int "a version bump is a miss" 5 !runs
+
+let test_errors_are_values_and_uncached () =
+  with_clean_pipeline @@ fun () ->
+  P.enable_cache ();
+  let attempts = ref 0 in
+  let boom =
+    P.register ~name:"unit_boom" (fun () ->
+        incr attempts;
+        if !attempts = 1 then Diag.fail ~stage:"unit_boom" "raised"
+        else if !attempts = 2 then failwith "stray"
+        else Ok "recovered")
+  in
+  let input = P.inject ~tag:"u" ~repr:"()" () in
+  (match P.run boom input with
+  | Error d ->
+    Alcotest.(check string) "Diag.fail caught at the boundary"
+      "unit_boom: raised" (Diag.to_string d)
+  | Ok _ -> Alcotest.fail "expected a diag");
+  (match P.run boom input with
+  | Error d ->
+    Alcotest.(check string) "stray exception mapped to the stage"
+      "unit_boom" d.Diag.stage
+  | Ok _ -> Alcotest.fail "expected a diag");
+  (* the two failures stored nothing: the third attempt actually runs *)
+  (match P.run boom input with
+  | Ok out -> Alcotest.(check string) "third attempt runs" "recovered" (P.value out)
+  | Error d -> Alcotest.fail (Diag.to_string d));
+  check_int "every attempt executed" 3 !attempts;
+  (match List.assoc_opt "unit_boom" (P.cache_stats ()) with
+  | None -> Alcotest.fail "store expected"
+  | Some s ->
+    check_int "only the success is stored" 1 s.Sc_cache.Cache.entries);
+  Alcotest.(check (list (pair string string)))
+    "failures logged as failed"
+    [ ("unit_boom", "failed"); ("unit_boom", "failed"); ("unit_boom", "ran") ]
+    (List.map (fun (n, s) -> (n, P.status_to_string s)) (P.log ()))
+
+(* --- the incremental matrix over the real compiler --- *)
+
+let behavior_stages =
+  [ "parse"; "compile"; "optimize"; "place"; "route"; "drc"; "emit"; "measure" ]
+
+let statuses () =
+  List.map (fun (n, s) -> (n, P.status_to_string s)) (P.log ())
+
+let compile ?restarts src =
+  P.reset_log ();
+  (match C.compile_behavior ?restarts src with
+  | Ok _ -> ()
+  | Error d -> Alcotest.failf "compile failed: %s" (Diag.to_string d));
+  statuses ()
+
+let all st = List.map (fun n -> (n, st)) behavior_stages
+
+let test_incremental_invalidation () =
+  with_clean_pipeline @@ fun () ->
+  P.enable_cache ();
+  let src = Sc_core.Designs.counter_src in
+  Alcotest.(check (list (pair string string)))
+    "cold compile runs every stage" (all "ran")
+    (compile ~restarts:2 src);
+  Alcotest.(check (list (pair string string)))
+    "identical input hits every stage"
+    (all "hit (memory)")
+    (compile ~restarts:2 src);
+  Alcotest.(check (list (pair string string)))
+    "a restarts change reruns only place onward"
+    [ ("parse", "hit (memory)")
+    ; ("compile", "hit (memory)")
+    ; ("optimize", "hit (memory)")
+    ; ("place", "ran")
+    ; ("route", "ran")
+    ; ("drc", "ran")
+    ; ("emit", "ran")
+    ; ("measure", "ran")
+    ]
+    (compile ~restarts:5 src);
+  Alcotest.(check (list (pair string string)))
+    "a source edit reruns every stage" (all "ran")
+    (compile ~restarts:2 (src ^ "\n"));
+  (* a failing source fails at parse both times: errors are not cached *)
+  let fail_log () =
+    P.reset_log ();
+    (match C.compile_behavior "definitely not ISP" with
+    | Ok _ -> Alcotest.fail "expected a parse error"
+    | Error d ->
+      Alcotest.(check string) "fails in parse" "parse" d.Diag.stage);
+    statuses ()
+  in
+  Alcotest.(check (list (pair string string)))
+    "first failure executes parse"
+    [ ("parse", "failed") ]
+    (fail_log ());
+  Alcotest.(check (list (pair string string)))
+    "second failure executes parse again (uncached)"
+    [ ("parse", "failed") ]
+    (fail_log ())
+
+(* --- route is unconditional and its QoR reaches the snapshot --- *)
+
+let capture_counter ?restarts () =
+  with_recorder @@ fun () ->
+  (match C.compile_behavior ?restarts Sc_core.Designs.counter_src with
+  | Ok _ -> ()
+  | Error d -> Alcotest.failf "compile failed: %s" (Diag.to_string d));
+  M.capture ~design:"counter" ()
+
+let test_route_in_snapshot () =
+  with_clean_pipeline @@ fun () ->
+  let s = capture_counter () in
+  List.iter
+    (fun key ->
+      check_bool (key ^ " present in QoR") true
+        (List.assoc_opt key s.M.qor <> None))
+    [ "route.tracks"; "route.height"; "route.channels"; "drc.violations" ];
+  check_bool "channels routed" true
+    (match List.assoc_opt "route.channels" s.M.qor with
+    | Some n -> n > 0.
+    | None -> false)
+
+(* --- warm-run QoR byte identity, and the hit counters --- *)
+
+let test_warm_qor_identity () =
+  with_clean_pipeline @@ fun () ->
+  P.enable_cache ();
+  let saved = Sc_par.Pool.default_size () in
+  Fun.protect ~finally:(fun () -> Sc_par.Pool.set_default_size saved)
+  @@ fun () ->
+  Sc_par.Pool.set_default_size 1;
+  let cold = capture_counter ~restarts:3 () in
+  Sc_par.Pool.set_default_size 4;
+  let warm = capture_counter ~restarts:3 () in
+  Alcotest.(check string) "warm -j4 QoR bytes = cold -j1 QoR bytes"
+    (M.qor_string cold) (M.qor_string warm);
+  check_bool "snapshot is non-trivial" true (List.length cold.M.qor > 5);
+  (* the warm run was all hits, visible in the runtime section *)
+  let rt key =
+    match List.assoc_opt key warm.M.runtime with Some v -> v | None -> 0.
+  in
+  check_bool "pipeline hit counter recorded" true (rt "pipeline.parse.hit" >= 1.);
+  check_bool "store hit counter recorded" true (rt "cache.parse.hit" >= 1.);
+  check_bool "no warm misses" true (rt "cache.parse.miss" = 0.);
+  check_bool "runtime keys stay out of QoR" true
+    (List.for_all (fun (k, _) -> not (M.is_runtime_key k)) warm.M.qor)
+
+let suite =
+  [ Alcotest.test_case "staged keys" `Quick test_staged_keys
+  ; Alcotest.test_case "pass cache and log" `Quick test_pass_cache_and_log
+  ; Alcotest.test_case "errors are values, never cached" `Quick
+      test_errors_are_values_and_uncached
+  ; Alcotest.test_case "incremental invalidation matrix" `Quick
+      test_incremental_invalidation
+  ; Alcotest.test_case "route QoR in snapshot" `Quick test_route_in_snapshot
+  ; Alcotest.test_case "warm QoR byte identity" `Quick test_warm_qor_identity
+  ]

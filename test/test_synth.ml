@@ -126,7 +126,7 @@ let test_pla_rejects_large_state () =
     (try
        ignore (Sc_synth.Synth.pla_fsm d);
        false
-     with Invalid_argument _ -> true);
+     with Sc_pipeline.Diag.Error _ -> true);
   let big =
     parse_ok
       {|
@@ -142,7 +142,7 @@ end
     (try
        ignore (Sc_synth.Synth.pla_fsm big);
        false
-     with Invalid_argument _ -> true)
+     with Sc_pipeline.Diag.Error _ -> true)
 
 let test_results_carry_metrics () =
   let d = parse_ok traffic_src in
