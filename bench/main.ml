@@ -8,8 +8,8 @@
 
    Run everything:        dune exec bench/main.exe
    Run one experiment:    dune exec bench/main.exe -- e3
-   Options:               e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e13 profile
-                          ablate micro all
+   Options:               e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e13 e14
+                          profile ablate micro all
    (e10 and profile are synonyms: the stage-cost profile of the full
    behavioral path, regenerating the EXPERIMENTS.md E10 table.) *)
 
@@ -18,6 +18,16 @@ let section title claim =
   Printf.printf "claim: %s\n\n" claim
 
 let ratio a b = float_of_int a /. float_of_int (max b 1)
+
+(* cache directories are sharded into subdirectories now; a flat
+   readdir+remove no longer clears them *)
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
 
 (* ------------------------------------------------------------------ *)
 (* E1: compiled PDP-8 vs hand design (claim C4)                        *)
@@ -925,8 +935,7 @@ let e11 () =
   (* the result cache: hit in memory, then from disk after a "restart" *)
   let dir = Filename.concat (Filename.get_temp_dir_name ()) "scc-e11-cache" in
   (* the directory persists across bench runs: start genuinely cold *)
-  if Sys.file_exists dir then
-    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  rm_rf dir;
   let compile () =
     match Sc_core.Compiler.compile_behavior Sc_core.Designs.pdp8_src with
     | Ok _ -> ()
@@ -986,8 +995,7 @@ let e13 () =
   in
   let dir = Filename.concat (Filename.get_temp_dir_name ()) "scc-e13-cache" in
   (* the directory persists across bench runs: start genuinely cold *)
-  if Sys.file_exists dir then
-    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  rm_rf dir;
   let compile restarts =
     P.reset_log ();
     match
@@ -1067,6 +1075,255 @@ let e13 () =
   Printf.printf "machine-readable timings written to BENCH_e13.json\n"
 
 (* ------------------------------------------------------------------ *)
+(* E14: the compile daemon under concurrent load                       *)
+(* ------------------------------------------------------------------ *)
+
+let e14 () =
+  section "E14: the compile daemon under concurrent load (scc serve)"
+    "a long-running daemon multiplexing concurrent compilations over one \
+     shared stage cache beats sequential single-shot compilation on \
+     throughput while every response's QoR stays byte-identical to the \
+     committed baselines";
+  let module P = Sc_serve.Protocol in
+  let wall f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let fail msg =
+    Printf.printf "\nFAIL: %s\n" msg;
+    exit 1
+  in
+  let designs = [ "counter"; "traffic"; "alu4"; "pdp8" ] in
+  let src_of name =
+    match Sc_core.Designs.builtin name with
+    | Some s -> s
+    | None -> fail ("no builtin design " ^ name)
+  in
+  let baseline_dir =
+    if Sys.file_exists "bench/baselines" then "bench/baselines"
+    else "baselines"
+  in
+  let baseline_qor =
+    List.map
+      (fun name ->
+        let path = Filename.concat baseline_dir (name ^ ".json") in
+        match Sc_metrics.Metrics.read path with
+        | Ok s -> (name, Sc_metrics.Metrics.qor_string s)
+        | Error e -> fail (path ^ ": " ^ e))
+      designs
+  in
+  (* --- sequential single-shot baseline, measured BEFORE the daemon
+     takes over the process-global cache configuration: each run pays
+     the full cold pipeline, exactly like one `scc isp D` process --- *)
+  Sc_pipeline.Pipeline.disable_cache ();
+  Sc_pipeline.Pipeline.clear_caches ();
+  let seq_rounds = 2 in
+  let (), seq_time =
+    wall (fun () ->
+        for _ = 1 to seq_rounds do
+          List.iter
+            (fun name ->
+              match Sc_core.Compiler.compile_behavior (src_of name) with
+              | Ok _ -> ()
+              | Error d ->
+                fail (name ^ ": " ^ Sc_pipeline.Diag.to_string d))
+            designs
+        done)
+  in
+  let seq_n = seq_rounds * List.length designs in
+  let seq_rps = float_of_int seq_n /. seq_time in
+  Printf.printf
+    "sequential single-shot: %d cold compiles in %.1f s (%.1f req/s)\n"
+    seq_n seq_time seq_rps;
+  Sc_pipeline.Pipeline.clear_caches ();
+  (* --- start the daemon in-process on a temp socket --- *)
+  let tmp = Filename.get_temp_dir_name () in
+  let socket = Filename.concat tmp "scc-e14.sock" in
+  let cache_dir = Filename.concat tmp "scc-e14-cache" in
+  rm_rf cache_dir;
+  let server_exit = ref (-1) in
+  let server =
+    Thread.create
+      (fun () ->
+        server_exit :=
+          Sc_serve.Server.run ~jobs:1 ~stage_cache:cache_dir
+            ~handle_signals:false ~socket ())
+      ()
+  in
+  let rec await n =
+    if n = 0 then fail "daemon did not come up"
+    else if not (Sys.file_exists socket) then begin
+      Thread.delay 0.05;
+      await (n - 1)
+    end
+  in
+  await 100;
+  let rpc fd req =
+    match Sc_serve.Client.rpc fd req with
+    | Ok r -> r
+    | Error e -> fail ("rpc: " ^ e)
+  in
+  let one_shot req =
+    match Sc_serve.Client.one_shot socket req with
+    | Ok r -> r
+    | Error e -> fail ("rpc: " ^ e)
+  in
+  let stat key =
+    match one_shot P.Stats with
+    | P.Stats_reply kvs -> (
+      match List.assoc_opt key kvs with
+      | Some v -> v
+      | None -> fail ("no stat " ^ key))
+    | _ -> fail "unexpected stats response"
+  in
+  let spec name restarts =
+    { P.design = name; source = src_of name; style = "gates"; restarts }
+  in
+  (* --- in-flight dedup: concurrent identical cold requests share one
+     execution (pdp8 is ~hundreds of ms cold, a comfortable window) --- *)
+  let before = stat "serve.executions" in
+  let clients = 4 in
+  let replies = Array.make clients None in
+  let threads =
+    List.init clients (fun i ->
+        Thread.create
+          (fun () -> replies.(i) <- Some (one_shot (P.Compile (spec "pdp8" 0))))
+          ())
+  in
+  List.iter Thread.join threads;
+  Array.iter
+    (function
+      | Some (P.Compiled _) -> ()
+      | _ -> fail "dedup phase: a client did not get a Compiled reply")
+    replies;
+  let executions = stat "serve.executions" - before in
+  let dedup = stat "serve.dedup_hits" in
+  Printf.printf
+    "dedup: %d concurrent identical cold requests -> %d execution(s), %d \
+     dedup hit(s)\n"
+    clients executions dedup;
+  if dedup < 1 then
+    fail "concurrent identical requests did not share an execution";
+  (* --- the load: thousands of mixed warm/cold requests across the four
+     designs over persistent connections; restarts variants add cold
+     executions mid-stream --- *)
+  let total = 2000 in
+  let workers = 8 in
+  let darr = Array.of_list designs in
+  let spec_of i =
+    (* deterministic mix: every 83rd request is a --restarts variant
+       (cold the first time a (design, restarts) pair appears) *)
+    let name = darr.(i mod Array.length darr) in
+    let restarts = if i mod 83 = 7 then 1 + (i / 83 mod 3) else 0 in
+    spec name restarts
+  in
+  let errors = Mutex.create () and errs = ref [] in
+  let err m =
+    Mutex.protect errors (fun () -> errs := m :: !errs)
+  in
+  (* restarts variants have no committed baseline (restarts changes
+     placement QoR); they are checked for self-consistency instead *)
+  let variant_lock = Mutex.create () in
+  let variants : (string * int, string) Hashtbl.t = Hashtbl.create 16 in
+  let check_qor (s : P.compile_spec) qor =
+    if s.P.restarts = 0 then begin
+      match List.assoc_opt s.P.design baseline_qor with
+      | Some want when String.equal want qor -> ()
+      | Some _ -> err (s.P.design ^ ": QoR differs from committed baseline")
+      | None -> err ("no baseline for " ^ s.P.design)
+    end
+    else
+      Mutex.protect variant_lock (fun () ->
+          let key = (s.P.design, s.P.restarts) in
+          match Hashtbl.find_opt variants key with
+          | None -> Hashtbl.replace variants key qor
+          | Some want ->
+            if not (String.equal want qor) then
+              err
+                (Printf.sprintf "%s --restarts %d: QoR varied across requests"
+                   s.P.design s.P.restarts))
+  in
+  let worker w () =
+    match Sc_serve.Client.connect socket with
+    | Error e -> err e
+    | Ok fd ->
+      Fun.protect
+        ~finally:(fun () -> Sc_serve.Client.close fd)
+        (fun () ->
+          let i = ref w in
+          while !i < total do
+            let s = spec_of !i in
+            (match rpc fd (P.Compile s) with
+            | P.Compiled r -> (
+              match Sc_metrics.Metrics.of_json r.P.snapshot with
+              | Ok snap ->
+                check_qor s (Sc_metrics.Metrics.qor_string snap)
+              | Error e -> err ("bad snapshot: " ^ e))
+            | P.Error_reply { stage; message } ->
+              err (stage ^ ": " ^ message)
+            | _ -> err "unexpected response");
+            i := !i + workers
+          done)
+  in
+  let (), load_time =
+    wall (fun () ->
+        let ts = List.init workers (fun w -> Thread.create (worker w) ()) in
+        List.iter Thread.join ts)
+  in
+  (match !errs with
+  | [] -> ()
+  | e :: _ ->
+    fail (Printf.sprintf "%d bad response(s), first: %s" (List.length !errs) e));
+  let daemon_rps = float_of_int total /. load_time in
+  let executions_total = stat "serve.executions" in
+  let dedup_total = stat "serve.dedup_hits" in
+  Printf.printf
+    "daemon: %d mixed warm/cold requests over %d connections in %.1f s \
+     (%.0f req/s, %d pipeline executions, %d dedup hits)\n"
+    total workers load_time daemon_rps executions_total dedup_total;
+  Printf.printf "speedup over sequential single-shot: %.0fx\n"
+    (daemon_rps /. seq_rps);
+  if daemon_rps <= seq_rps then
+    fail "daemon throughput did not beat sequential single-shot compilation";
+  Printf.printf
+    "every response QoR byte-identical (%d against committed baselines, \
+     restarts variants self-consistent)\n"
+    (total - ((total / 83) + 1));
+  (* --- clean shutdown over the protocol --- *)
+  (match one_shot P.Shutdown with
+  | P.Bye -> ()
+  | _ -> fail "shutdown: expected Bye");
+  Thread.join server;
+  if !server_exit <> 0 then
+    fail (Printf.sprintf "daemon exited %d" !server_exit);
+  if Sys.file_exists socket then fail "daemon left its socket behind";
+  Printf.printf "clean shutdown: daemon drained, exit 0, socket unlinked\n";
+  Sc_pipeline.Pipeline.disable_cache ();
+  Sc_pipeline.Pipeline.clear_caches ();
+  let round1 t = Sc_obs.Json.Num (Float.round (t *. 10.) /. 10.) in
+  let json =
+    Sc_obs.Json.Obj
+      [ ("schema", Sc_obs.Json.Str "scc-bench")
+      ; ("experiment", Sc_obs.Json.Str "e14")
+      ; ("sequential_rps", round1 seq_rps)
+      ; ("daemon_rps", round1 daemon_rps)
+      ; ("speedup", round1 (daemon_rps /. seq_rps))
+      ; ("requests", Sc_obs.Json.Num (float_of_int total))
+      ; ("executions", Sc_obs.Json.Num (float_of_int executions_total))
+      ; ("dedup_hits", Sc_obs.Json.Num (float_of_int dedup_total))
+      ; ("qor_identical", Sc_obs.Json.Bool true)
+      ]
+  in
+  let oc = open_out "BENCH_e14.json" in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Sc_obs.Json.to_string json);
+      output_char oc '\n');
+  Printf.printf "machine-readable results written to BENCH_e14.json\n"
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
@@ -1083,6 +1340,7 @@ let () =
     | "e10" | "profile" -> profile ()
     | "e11" -> e11 ()
     | "e13" -> e13 ()
+    | "e14" -> e14 ()
     | "ablate" -> ablate ()
     | "micro" -> micro ()
     | other -> Printf.eprintf "unknown experiment %S\n" other
@@ -1091,6 +1349,6 @@ let () =
   | "all" ->
     List.iter run
       [ "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e7"; "e8"; "e9"; "e10"; "e11"
-      ; "e13"; "ablate"; "micro"
+      ; "e13"; "e14"; "ablate"; "micro"
       ]
   | w -> run w

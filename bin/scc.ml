@@ -363,16 +363,10 @@ let isp_cmd =
   let run design style output stats trace metrics jobs stage_cache cache_dir
       explain restarts =
     let src =
-      match design with
-      | "counter" -> Some Sc_core.Designs.counter_src
-      | "traffic" -> Some Sc_core.Designs.traffic_src
-      | "alu" | "alu4" -> Some Sc_core.Designs.alu_src
-      | "gray" -> Some Sc_core.Designs.gray_src
-      | "seqdet" -> Some Sc_core.Designs.seqdet_src
-      | "pdp8" -> Some Sc_core.Designs.pdp8_src
-      | "pdp8_dp" -> Some Sc_core.Designs.pdp8_dp_src
-      | path when Sys.file_exists path -> Some (read_file path)
-      | _ -> None
+      match Sc_core.Designs.builtin design with
+      | Some _ as s -> s
+      | None when Sys.file_exists design -> Some (read_file design)
+      | None -> None
     in
     match src with
     | None ->
@@ -533,15 +527,15 @@ let resolve_circuit spec =
     | "pdp8_dp" -> Ok (Sc_core.Designs.hand_pdp8_dp ())
     | n -> Error ("unknown hand design " ^ n))
   | Some i when String.sub spec 0 i = "isp" -> (
-    match String.sub spec (i + 1) (String.length spec - i - 1) with
-    | "counter" -> Ok (synth Sc_core.Designs.counter_src)
-    | "traffic" -> Ok (synth Sc_core.Designs.traffic_src)
-    | "alu" -> Ok (synth Sc_core.Designs.alu_src)
-    | "gray" -> Ok (synth Sc_core.Designs.gray_src)
-    | "seqdet" -> Ok (synth Sc_core.Designs.seqdet_src)
-    | "pdp8" -> Ok (synth Sc_core.Designs.pdp8_src)
-    | "pdp8_dp" -> Ok (synth Sc_core.Designs.pdp8_dp_src)
-    | n -> Error ("unknown builtin design " ^ n))
+    match
+      Sc_core.Designs.builtin
+        (String.sub spec (i + 1) (String.length spec - i - 1))
+    with
+    | Some src -> Ok (synth src)
+    | None ->
+      Error
+        ("unknown builtin design "
+        ^ String.sub spec (i + 1) (String.length spec - i - 1)))
     | _ ->
       if not (Sys.file_exists spec) then Error ("no such file: " ^ spec)
       else (
@@ -725,6 +719,245 @@ let diff_cmd =
       const run $ baseline_arg $ current_arg $ thresholds_arg
       $ gate_runtime_arg)
 
+(* --- serve / client: the compile daemon --- *)
+
+let socket_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket path the daemon listens on.")
+
+let serve_cmd =
+  let run socket jobs stage_cache =
+    Sc_serve.Server.run ~jobs ?stage_cache ~socket ()
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the compile daemon: a long-running process multiplexing \
+          concurrent compilations over one shared stage cache.  Clients \
+          connect over the Unix-domain socket ($(b,scc client)); \
+          identical in-flight requests are deduplicated; SIGTERM or \
+          $(b,scc client shutdown) drains connections and exits.")
+    Term.(const run $ socket_arg $ jobs_arg $ stage_cache_arg)
+
+(* client compile specs are sent with the source inlined, so the
+   daemon's dedup key is a pure function of the frame: resolve builtin
+   names and file paths here, before anything hits the wire *)
+let resolve_spec design style restarts =
+  let style =
+    match style with
+    | Sc_core.Compiler.Pla_control -> "pla"
+    | Sc_core.Compiler.Random_logic -> "gates"
+  in
+  match Sc_core.Designs.builtin design with
+  | Some source ->
+    Ok { Sc_serve.Protocol.design; source; style; restarts }
+  | None when Sys.file_exists design ->
+    Ok
+      { Sc_serve.Protocol.design = design_of_path design
+      ; source = read_file design
+      ; style
+      ; restarts
+      }
+  | None ->
+    Error (design ^ " is neither a builtin design nor a file")
+
+let client_design_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"DESIGN"
+        ~doc:"A builtin design name or an ISP file path (read locally; \
+              the source text is sent inline).")
+
+(* one RPC against the daemon; protocol/transport failures exit 2 *)
+let client_call socket req k =
+  match Sc_serve.Client.one_shot socket req with
+  | Error e ->
+    Printf.eprintf "error: %s\n" e;
+    2
+  | Ok (Sc_serve.Protocol.Error_reply { stage; message }) ->
+    Printf.eprintf "error: %s: %s\n" stage message;
+    1
+  | Ok resp -> k resp
+
+let unexpected () =
+  Printf.eprintf "error: unexpected response from daemon\n";
+  2
+
+let client_compile_cmd =
+  let run socket design style restarts metrics explain =
+    match resolve_spec design style restarts with
+    | Error e ->
+      Printf.eprintf "error: %s\n" e;
+      2
+    | Ok spec ->
+      client_call socket (Sc_serve.Protocol.Compile spec) (function
+        | Sc_serve.Protocol.Compiled r ->
+          Printf.eprintf
+            "%s: %d gates, %d flip-flops, %d transistors, area %d, CIF %d \
+             bytes, DRC %s\n%!"
+            spec.Sc_serve.Protocol.design r.Sc_serve.Protocol.gates
+            r.Sc_serve.Protocol.flipflops r.Sc_serve.Protocol.transistors
+            r.Sc_serve.Protocol.area r.Sc_serve.Protocol.cif_bytes
+            (if r.Sc_serve.Protocol.drc_violations = 0 then "clean"
+             else
+               string_of_int r.Sc_serve.Protocol.drc_violations
+               ^ " violations");
+          if explain then
+            List.iter
+              (fun (pass, status) ->
+                Printf.eprintf "  %-10s %s\n%!" pass status)
+              r.Sc_serve.Protocol.passes;
+          (match metrics with
+          | None -> 0
+          | Some path -> (
+            match Sc_metrics.Metrics.of_json r.Sc_serve.Protocol.snapshot with
+            | Error e ->
+              Printf.eprintf "error: bad snapshot from daemon: %s\n" e;
+              2
+            | Ok s ->
+              Sc_metrics.Metrics.write path s;
+              Printf.eprintf "metrics written to %s\n%!" path;
+              0))
+        | _ -> unexpected ())
+  in
+  Cmd.v
+    (Cmd.info "compile"
+       ~doc:
+         "Compile a design through the daemon; $(b,--metrics) captures \
+          the per-request QoR snapshot, byte-identical to a single-shot \
+          $(b,scc isp) run.")
+    Term.(
+      const run $ socket_arg $ client_design_arg $ style_arg $ restarts_arg
+      $ metrics_arg $ explain_arg)
+
+let client_report_cmd =
+  let run socket design style restarts =
+    match resolve_spec design style restarts with
+    | Error e ->
+      Printf.eprintf "error: %s\n" e;
+      2
+    | Ok spec ->
+      client_call socket (Sc_serve.Protocol.Report spec) (function
+        | Sc_serve.Protocol.Reported table ->
+          print_string table;
+          0
+        | _ -> unexpected ())
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Compile through the daemon and render the metrics table.")
+    Term.(const run $ socket_arg $ client_design_arg $ style_arg $ restarts_arg)
+
+let client_diff_cmd =
+  let baseline_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"BASELINE" ~doc:"Baseline snapshot JSON.")
+  in
+  let design_arg =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"DESIGN" ~doc:"Builtin design name or ISP file path.")
+  in
+  let run socket baseline design style restarts =
+    match Sc_obs.Json.parse (read_file baseline) with
+    | Error e ->
+      Printf.eprintf "error: %s: %s\n" baseline e;
+      2
+    | Ok base -> (
+      match resolve_spec design style restarts with
+      | Error e ->
+        Printf.eprintf "error: %s\n" e;
+        2
+      | Ok spec ->
+        client_call socket
+          (Sc_serve.Protocol.Diff { spec; baseline = base })
+          (function
+            | Sc_serve.Protocol.Diffed { report; regressed } ->
+              print_string report;
+              if regressed then begin
+                Printf.eprintf "quality gate: REGRESSED against %s\n" baseline;
+                1
+              end
+              else 0
+            | _ -> unexpected ()))
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:
+         "Compile through the daemon and classify metric deltas against \
+          a baseline snapshot; exit 1 when the quality gate trips.")
+    Term.(
+      const run $ socket_arg $ baseline_arg $ design_arg $ style_arg
+      $ restarts_arg)
+
+let client_equiv_cmd =
+  let spec_arg idx name =
+    Arg.(
+      required
+      & pos idx (some string) None
+      & info [] ~docv:name
+          ~doc:"Circuit: $(b,hand:)NAME or $(b,isp:)NAME.")
+  in
+  let k_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "k" ] ~docv:"K"
+          ~doc:"Unrolling depth for sequential circuits (default 8).")
+  in
+  let run socket a b k =
+    client_call socket (Sc_serve.Protocol.Equiv { a; b; k }) (function
+      | Sc_serve.Protocol.Equiv_verdict { equivalent; detail } ->
+        print_endline detail;
+        if equivalent then 0 else 1
+      | _ -> unexpected ())
+  in
+  Cmd.v
+    (Cmd.info "equiv"
+       ~doc:"Prove two builtin circuits equivalent through the daemon.")
+    Term.(const run $ socket_arg $ spec_arg 0 "A" $ spec_arg 1 "B" $ k_arg)
+
+let client_stats_cmd =
+  let run socket =
+    client_call socket Sc_serve.Protocol.Stats (function
+      | Sc_serve.Protocol.Stats_reply kvs ->
+        List.iter (fun (k, v) -> Printf.printf "%-18s %d\n" k v) kvs;
+        0
+      | _ -> unexpected ())
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Print the daemon's counters: requests, in-flight, dedup hits, \
+          executions, and the aggregated stage-cache statistics.")
+    Term.(const run $ socket_arg)
+
+let client_shutdown_cmd =
+  let run socket =
+    client_call socket Sc_serve.Protocol.Shutdown (function
+      | Sc_serve.Protocol.Bye -> 0
+      | _ -> unexpected ())
+  in
+  Cmd.v
+    (Cmd.info "shutdown" ~doc:"Ask the daemon to drain and exit.")
+    Term.(const run $ socket_arg)
+
+let client_cmd =
+  Cmd.group
+    (Cmd.info "client"
+       ~doc:
+         "Talk to a running compile daemon ($(b,scc serve)) over its \
+          Unix-domain socket.")
+    [ client_compile_cmd; client_report_cmd; client_diff_cmd
+    ; client_equiv_cmd; client_stats_cmd; client_shutdown_cmd
+    ]
+
 let () =
   let doc = "the silicon compiler: textual descriptions to layout data" in
   exit
@@ -733,4 +966,5 @@ let () =
           (Cmd.info "scc" ~version:"1.0" ~doc)
           [ layout_cmd; behavior_cmd; isp_cmd; drc_cmd; stats_cmd; sim_cmd
           ; extract_cmd; svg_cmd; equiv_cmd; report_cmd; diff_cmd
+          ; serve_cmd; client_cmd
           ]))

@@ -15,6 +15,7 @@ type stats =
   ; disk_hits : int
   ; misses : int
   ; evictions : int
+  ; stale : int
   }
 
 type 'a t =
@@ -29,6 +30,7 @@ type 'a t =
   ; mutable disk_hits : int
   ; mutable misses : int
   ; mutable evictions : int
+  ; mutable stale : int
   }
 
 let digest s = Digest.to_hex (Digest.string s)
@@ -48,6 +50,7 @@ let create ?(capacity = 256) ?dir ~name () =
   ; disk_hits = 0
   ; misses = 0
   ; evictions = 0
+  ; stale = 0
   }
 
 (* --- list surgery; caller holds the lock --- *)
@@ -86,41 +89,99 @@ let insert t key value =
 
 (* --- disk layer --- *)
 
+(* Every entry starts with a magic string and a format version, so a
+   directory written by an older build (or a torn/foreign file) reads
+   back as a miss instead of handing Marshal garbage.  Bump
+   [format_version] whenever the meaning or layout of cached artifacts
+   changes. *)
+let magic = "SCCCACHE"
+let format_version = 1
+
+(* Entries are sharded into per-prefix subdirectories so that a hot
+   shared directory (many concurrent writers, e.g. under [scc serve])
+   never concentrates every rename in one inode, and listing stays
+   cheap as the store grows. *)
+let shard_of key =
+  if String.length key < 2 then "00"
+  else
+    String.init 2 (fun i ->
+        match key.[i] with
+        | ('a' .. 'z' | 'A' .. 'Z' | '0' .. '9') as c -> c
+        | _ -> '_')
+
+let ensure_dir d =
+  if not (Sys.file_exists d) then
+    try Unix.mkdir d 0o755 with Unix.Unix_error _ -> ()
+
 let file_of t key =
   match t.dir with
   | None -> None
-  | Some d -> Some (Filename.concat d (t.name ^ "-" ^ key))
+  | Some d ->
+    Some (Filename.concat (Filename.concat d (shard_of key)) (t.name ^ "-" ^ key))
+
+let locked t f = Mutex.protect t.lock f
+
+let note ?(n = 1) t what =
+  if n > 0 then Sc_obs.Obs.count ("cache." ^ t.name ^ "." ^ what) n
 
 let disk_read t key =
   match file_of t key with
   | Some path when Sys.file_exists path -> (
-    try
+    let read () =
       let ic = open_in_bin path in
       Fun.protect
         ~finally:(fun () -> close_in ic)
-        (fun () -> Some (Marshal.from_channel ic))
-    with _ -> None)
+        (fun () ->
+          let m =
+            try really_input_string ic (String.length magic)
+            with End_of_file -> ""
+          in
+          if not (String.equal m magic) then `Stale
+          else if (try input_binary_int ic with End_of_file -> -1)
+                  <> format_version
+          then `Stale
+          else
+            match Marshal.from_channel ic with
+            | v -> `Value v
+            | exception _ -> `Stale)
+    in
+    match read () with
+    | `Value v -> Some v
+    | `Stale ->
+      (* written by another build, or corrupt: a miss, never garbage *)
+      locked t (fun () -> t.stale <- t.stale + 1);
+      note t "stale";
+      None
+    | exception _ -> None)
   | _ -> None
+
+(* tmp names must be unique per writer: two processes (or domains)
+   racing to persist the same key must not clobber each other's
+   in-flight file before the atomic rename *)
+let tmp_seq = Atomic.make 0
 
 let disk_write t key value =
   match file_of t key with
   | None -> ()
   | Some path -> (
     try
-      let tmp = path ^ ".tmp" in
+      (match t.dir with Some d -> ensure_dir d | None -> ());
+      ensure_dir (Filename.dirname path);
+      let tmp =
+        Printf.sprintf "%s.tmp.%d.%d" path (Unix.getpid ())
+          (Atomic.fetch_and_add tmp_seq 1)
+      in
       let oc = open_out_bin tmp in
       Fun.protect
         ~finally:(fun () -> close_out oc)
-        (fun () -> Marshal.to_channel oc value []);
+        (fun () ->
+          output_string oc magic;
+          output_binary_int oc format_version;
+          Marshal.to_channel oc value []);
       Sys.rename tmp path
     with _ -> ())
 
 (* --- lookup / insert --- *)
-
-let locked t f = Mutex.protect t.lock f
-
-let note ?(n = 1) t what =
-  if n > 0 then Sc_obs.Obs.count ("cache." ^ t.name ^ "." ^ what) n
 
 let find t key =
   let hit =
@@ -191,7 +252,8 @@ let clear t =
       t.hits <- 0;
       t.disk_hits <- 0;
       t.misses <- 0;
-      t.evictions <- 0)
+      t.evictions <- 0;
+      t.stale <- 0)
 
 let stats t =
   locked t (fun () ->
@@ -201,10 +263,12 @@ let stats t =
       ; disk_hits = t.disk_hits
       ; misses = t.misses
       ; evictions = t.evictions
+      ; stale = t.stale
       })
 
 let pp_stats ppf s =
   Format.fprintf ppf
-    "%d/%d entries, %d hits (%d from disk), %d misses, %d evictions"
+    "%d/%d entries, %d hits (%d from disk), %d misses, %d evictions%s"
     s.entries s.capacity (s.hits + s.disk_hits) s.disk_hits s.misses
     s.evictions
+    (if s.stale > 0 then Printf.sprintf ", %d stale" s.stale else "")

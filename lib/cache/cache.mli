@@ -9,11 +9,18 @@
 
     In memory the store is a bounded LRU (least-recently-used entries
     evicted at [capacity]).  With [~dir] it also persists: every insert
-    writes [dir/<name>-<digest>], and a miss consults the directory
-    before recomputing, so results survive the process — a second
+    writes [dir/<shard>/<name>-<digest>] (the shard is the first two
+    characters of the digest, so concurrent writers spread over
+    subdirectories), and a miss consults the directory before
+    recomputing, so results survive the process — a second
     [scc --cache-dir d isp pdp8] skips compilation entirely.  Disk
-    values go through [Marshal]; a directory is trusted input exactly
-    like the source tree it caches for.
+    values go through [Marshal] behind a magic + format-version header;
+    an entry written by an older build (or a torn/foreign file) reads
+    back as a miss — counted as ["cache.<name>.stale"] — never as
+    garbage.  A directory is trusted input exactly like the source tree
+    it caches for.  Writes are safe under concurrent writers, including
+    separate processes: each goes to a unique temp name
+    ([.tmp.<pid>.<seq>]) and lands with one atomic rename.
 
     Stores are domain-safe (one mutex each); the computation given to
     {!find_or_add} runs outside the lock, so two domains may race to
@@ -70,6 +77,8 @@ type stats =
   ; disk_hits : int  (** misses served from [dir] *)
   ; misses : int  (** computed from scratch *)
   ; evictions : int
+  ; stale : int
+    (** disk entries rejected by the magic/format-version header *)
   }
 
 val stats : 'a t -> stats

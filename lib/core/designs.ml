@@ -468,3 +468,13 @@ let all () =
   ; ("seqdet", seqdet_src, None, seqdet_stim, 60)
   ; ("pdp8", pdp8_src, Some (hand_pdp8 ()), pdp8_stim, 120)
   ]
+
+let builtin = function
+  | "counter" -> Some counter_src
+  | "traffic" -> Some traffic_src
+  | "alu" | "alu4" -> Some alu_src
+  | "gray" -> Some gray_src
+  | "seqdet" -> Some seqdet_src
+  | "pdp8" -> Some pdp8_src
+  | "pdp8_dp" -> Some pdp8_dp_src
+  | _ -> None

@@ -82,6 +82,12 @@ val seqdet_stim : int -> (string * int) list
     scratch words, OPR group, a JMP loop. *)
 val pdp8_stim : int -> (string * int) list
 
+(** [builtin name] — the ISP source of a builtin design: [counter],
+    [traffic], [alu]/[alu4], [gray], [seqdet], [pdp8], [pdp8_dp].  The
+    single lookup [scc isp], [scc client] and the daemon's equiv
+    resolver all share. *)
+val builtin : string -> string option
+
 (** (name, ISP source, hand baseline if any, stimulus, verify cycles) *)
 val all :
   unit ->

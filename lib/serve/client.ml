@@ -1,0 +1,30 @@
+module P = Protocol
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX path) with
+  | () -> Ok fd
+  | exception Unix.Unix_error (e, _, _) ->
+    (try Unix.close fd with _ -> ());
+    Error
+      (Printf.sprintf "cannot connect to %s: %s (is the daemon running?)"
+         path (Unix.error_message e))
+
+let rpc fd req =
+  match P.write_frame fd (P.string_of_request req) with
+  | () -> (
+    match P.read_frame fd with
+    | Ok (Some payload) -> P.response_of_string payload
+    | Ok None -> Error "daemon closed the connection"
+    | Error e -> Error e)
+  | exception Unix.Unix_error (e, _, _) ->
+    Error ("send: " ^ Unix.error_message e)
+
+let close fd = try Unix.close fd with _ -> ()
+
+let with_connection path f =
+  match connect path with
+  | Error _ as e -> e
+  | Ok fd -> Fun.protect ~finally:(fun () -> close fd) (fun () -> f fd)
+
+let one_shot path req = with_connection path (fun fd -> rpc fd req)

@@ -1,0 +1,290 @@
+module Json = Sc_obs.Json
+
+(* --- framing --- *)
+
+let max_frame = 1 lsl 26 (* 64 MiB *)
+
+let encode_frame payload =
+  let n = String.length payload in
+  let b = Bytes.create (4 + n) in
+  Bytes.set b 0 (Char.chr ((n lsr 24) land 0xff));
+  Bytes.set b 1 (Char.chr ((n lsr 16) land 0xff));
+  Bytes.set b 2 (Char.chr ((n lsr 8) land 0xff));
+  Bytes.set b 3 (Char.chr (n land 0xff));
+  Bytes.blit_string payload 0 b 4 n;
+  Bytes.to_string b
+
+let write_frame fd payload =
+  let data = Bytes.of_string (encode_frame payload) in
+  let len = Bytes.length data in
+  let off = ref 0 in
+  while !off < len do
+    let n = Unix.write fd data !off (len - !off) in
+    if n = 0 then raise (Unix.Unix_error (Unix.EPIPE, "write", ""));
+    off := !off + n
+  done
+
+(* read exactly [n] bytes; [`Eof got] when the stream ends first *)
+let read_exact fd n =
+  let b = Bytes.create n in
+  let off = ref 0 in
+  let eof = ref false in
+  while (not !eof) && !off < n do
+    match Unix.read fd b !off (n - !off) with
+    | 0 -> eof := true
+    | k -> off := !off + k
+  done;
+  if !off = n then `Bytes b else `Eof !off
+
+let read_frame fd =
+  match read_exact fd 4 with
+  | `Eof 0 -> Ok None (* clean close between frames *)
+  | `Eof _ -> Error "truncated frame header"
+  | `Bytes hdr -> (
+    let len =
+      (Char.code (Bytes.get hdr 0) lsl 24)
+      lor (Char.code (Bytes.get hdr 1) lsl 16)
+      lor (Char.code (Bytes.get hdr 2) lsl 8)
+      lor Char.code (Bytes.get hdr 3)
+    in
+    if len > max_frame then
+      Error (Printf.sprintf "oversized frame: %d bytes (max %d)" len max_frame)
+    else
+      match read_exact fd len with
+      | `Bytes b -> Ok (Some (Bytes.to_string b))
+      | `Eof got ->
+        Error (Printf.sprintf "truncated frame: got %d of %d bytes" got len))
+  | exception Unix.Unix_error (e, _, _) ->
+    Error ("read: " ^ Unix.error_message e)
+
+(* --- requests --- *)
+
+type compile_spec =
+  { design : string
+  ; source : string
+  ; style : string
+  ; restarts : int
+  }
+
+type request =
+  | Compile of compile_spec
+  | Report of compile_spec
+  | Diff of { spec : compile_spec; baseline : Json.t }
+  | Equiv of { a : string; b : string; k : int }
+  | Stats
+  | Shutdown
+
+type compiled =
+  { snapshot : Json.t
+  ; cif_bytes : int
+  ; gates : int
+  ; flipflops : int
+  ; transistors : int
+  ; area : int
+  ; drc_violations : int
+  ; passes : (string * string) list
+  }
+
+type response =
+  | Compiled of compiled
+  | Reported of string
+  | Diffed of { report : string; regressed : bool }
+  | Equiv_verdict of { equivalent : bool; detail : string }
+  | Stats_reply of (string * int) list
+  | Bye
+  | Error_reply of { stage : string; message : string }
+
+(* --- encoding --- *)
+
+let num i = Json.Num (float_of_int i)
+
+let spec_fields s =
+  [ ("design", Json.Str s.design)
+  ; ("source", Json.Str s.source)
+  ; ("style", Json.Str s.style)
+  ; ("restarts", num s.restarts)
+  ]
+
+let json_of_request = function
+  | Compile s -> Json.Obj (("t", Json.Str "compile") :: spec_fields s)
+  | Report s -> Json.Obj (("t", Json.Str "report") :: spec_fields s)
+  | Diff { spec; baseline } ->
+    Json.Obj
+      ((("t", Json.Str "diff") :: spec_fields spec)
+      @ [ ("baseline", baseline) ])
+  | Equiv { a; b; k } ->
+    Json.Obj
+      [ ("t", Json.Str "equiv"); ("a", Json.Str a); ("b", Json.Str b)
+      ; ("k", num k)
+      ]
+  | Stats -> Json.Obj [ ("t", Json.Str "stats") ]
+  | Shutdown -> Json.Obj [ ("t", Json.Str "shutdown") ]
+
+let json_of_response = function
+  | Compiled c ->
+    Json.Obj
+      [ ("t", Json.Str "compiled")
+      ; ("snapshot", c.snapshot)
+      ; ("cif_bytes", num c.cif_bytes)
+      ; ("gates", num c.gates)
+      ; ("flipflops", num c.flipflops)
+      ; ("transistors", num c.transistors)
+      ; ("area", num c.area)
+      ; ("drc_violations", num c.drc_violations)
+      ; ( "passes"
+        , Json.Arr
+            (List.map
+               (fun (name, st) ->
+                 Json.Obj [ ("pass", Json.Str name); ("status", Json.Str st) ])
+               c.passes) )
+      ]
+  | Reported text ->
+    Json.Obj [ ("t", Json.Str "reported"); ("text", Json.Str text) ]
+  | Diffed { report; regressed } ->
+    Json.Obj
+      [ ("t", Json.Str "diffed"); ("report", Json.Str report)
+      ; ("regressed", Json.Bool regressed)
+      ]
+  | Equiv_verdict { equivalent; detail } ->
+    Json.Obj
+      [ ("t", Json.Str "equiv"); ("equivalent", Json.Bool equivalent)
+      ; ("detail", Json.Str detail)
+      ]
+  | Stats_reply kvs ->
+    Json.Obj
+      [ ("t", Json.Str "stats")
+      ; ("counters", Json.Obj (List.map (fun (k, v) -> (k, num v)) kvs))
+      ]
+  | Bye -> Json.Obj [ ("t", Json.Str "bye") ]
+  | Error_reply { stage; message } ->
+    Json.Obj
+      [ ("t", Json.Str "error"); ("stage", Json.Str stage)
+      ; ("message", Json.Str message)
+      ]
+
+(* --- decoding --- *)
+
+let ( let* ) = Result.bind
+
+let str_field name j =
+  match Json.member name j with
+  | Some (Json.Str s) -> Ok s
+  | _ -> Error (Printf.sprintf "missing or non-string field %S" name)
+
+let int_field name j =
+  match Json.member name j with
+  | Some (Json.Num f) when Float.is_integer f -> Ok (int_of_float f)
+  | _ -> Error (Printf.sprintf "missing or non-integer field %S" name)
+
+let bool_field name j =
+  match Json.member name j with
+  | Some (Json.Bool b) -> Ok b
+  | _ -> Error (Printf.sprintf "missing or non-boolean field %S" name)
+
+let spec_of_json j =
+  let* design = str_field "design" j in
+  let* source = str_field "source" j in
+  let* style = str_field "style" j in
+  let* restarts = int_field "restarts" j in
+  Ok { design; source; style; restarts }
+
+let request_of_json j =
+  let* tag = str_field "t" j in
+  match tag with
+  | "compile" ->
+    let* s = spec_of_json j in
+    Ok (Compile s)
+  | "report" ->
+    let* s = spec_of_json j in
+    Ok (Report s)
+  | "diff" ->
+    let* spec = spec_of_json j in
+    let* baseline =
+      match Json.member "baseline" j with
+      | Some b -> Ok b
+      | None -> Error "missing field \"baseline\""
+    in
+    Ok (Diff { spec; baseline })
+  | "equiv" ->
+    let* a = str_field "a" j in
+    let* b = str_field "b" j in
+    let* k = int_field "k" j in
+    Ok (Equiv { a; b; k })
+  | "stats" -> Ok Stats
+  | "shutdown" -> Ok Shutdown
+  | t -> Error (Printf.sprintf "unknown request tag %S" t)
+
+let response_of_json j =
+  let* tag = str_field "t" j in
+  match tag with
+  | "compiled" ->
+    let* snapshot =
+      match Json.member "snapshot" j with
+      | Some s -> Ok s
+      | None -> Error "missing field \"snapshot\""
+    in
+    let* cif_bytes = int_field "cif_bytes" j in
+    let* gates = int_field "gates" j in
+    let* flipflops = int_field "flipflops" j in
+    let* transistors = int_field "transistors" j in
+    let* area = int_field "area" j in
+    let* drc_violations = int_field "drc_violations" j in
+    let* passes =
+      match Json.member "passes" j with
+      | Some (Json.Arr entries) ->
+        List.fold_left
+          (fun acc e ->
+            let* acc = acc in
+            let* name = str_field "pass" e in
+            let* st = str_field "status" e in
+            Ok ((name, st) :: acc))
+          (Ok []) entries
+        |> Result.map List.rev
+      | _ -> Error "missing or non-array field \"passes\""
+    in
+    Ok
+      (Compiled
+         { snapshot; cif_bytes; gates; flipflops; transistors; area
+         ; drc_violations; passes
+         })
+  | "reported" ->
+    let* text = str_field "text" j in
+    Ok (Reported text)
+  | "diffed" ->
+    let* report = str_field "report" j in
+    let* regressed = bool_field "regressed" j in
+    Ok (Diffed { report; regressed })
+  | "equiv" ->
+    let* equivalent = bool_field "equivalent" j in
+    let* detail = str_field "detail" j in
+    Ok (Equiv_verdict { equivalent; detail })
+  | "stats" -> (
+    match Json.member "counters" j with
+    | Some (Json.Obj kvs) ->
+      List.fold_left
+        (fun acc (k, v) ->
+          let* acc = acc in
+          match v with
+          | Json.Num f when Float.is_integer f ->
+            Ok ((k, int_of_float f) :: acc)
+          | _ -> Error (Printf.sprintf "non-integer counter %S" k))
+        (Ok []) kvs
+      |> Result.map (fun kvs -> Stats_reply (List.rev kvs))
+    | _ -> Error "missing or non-object field \"counters\"")
+  | "bye" -> Ok Bye
+  | "error" ->
+    let* stage = str_field "stage" j in
+    let* message = str_field "message" j in
+    Ok (Error_reply { stage; message })
+  | t -> Error (Printf.sprintf "unknown response tag %S" t)
+
+let string_of_request r = Json.to_string (json_of_request r)
+let string_of_response r = Json.to_string (json_of_response r)
+
+let parse_then decode s =
+  match Json.parse s with
+  | Error e -> Error ("malformed JSON: " ^ e)
+  | Ok j -> decode j
+
+let request_of_string s = parse_then request_of_json s
+let response_of_string s = parse_then response_of_json s

@@ -1,0 +1,402 @@
+module P = Protocol
+module Json = Sc_obs.Json
+module Obs = Sc_obs.Obs
+module Pipeline = Sc_pipeline.Pipeline
+module Diag = Sc_pipeline.Diag
+module Metrics = Sc_metrics.Metrics
+
+type stats =
+  { requests : int
+  ; in_flight : int
+  ; dedup_hits : int
+  ; executions : int
+  }
+
+(* the shared result of one deduplicated execution *)
+type compiled =
+  { snapshot : Metrics.snapshot
+  ; cif_bytes : int
+  ; gates : int
+  ; flipflops : int
+  ; transistors : int
+  ; area : int
+  ; drc_violations : int
+  ; passes : (string * string) list
+  }
+
+type outcome = O_ok of compiled | O_diag of Diag.t
+
+type pending = { mutable result : outcome option }
+
+type state =
+  { lock : Mutex.t  (* counters, inflight table, conns, stop flag *)
+  ; done_cond : Condition.t  (* signalled when an execution lands *)
+  ; inflight : (string, pending) Hashtbl.t
+  ; mutable requests : int
+  ; mutable active : int
+  ; mutable dedup_hits : int
+  ; mutable executions : int
+  ; mutable stop : bool
+  ; mutable conns : Unix.file_descr list
+  ; mutable threads : Thread.t list
+  ; obs_lock : Mutex.t  (* serializes recorder-instrumented executions *)
+  ; listen_fd : Unix.file_descr
+  ; stop_w : Unix.file_descr  (* self-pipe: wake the accept loop *)
+  }
+
+let locked st f = Mutex.protect st.lock f
+
+(* --- the execution path --- *)
+
+(* The Obs recorder is process-global, so executions take [obs_lock]:
+   reset, enable, run the pipeline, capture — exactly the single-shot
+   [scc isp D --metrics] sequence, which is what keeps a daemon
+   snapshot byte-identical to the committed baselines.  Concurrency
+   lives everywhere else: socket I/O, dedup waiters, and the cache hits
+   that make warm executions cheap enough for the lock not to matter. *)
+let do_compile st (spec : P.compile_spec) =
+  match spec.style with
+  | "gates" | "pla" ->
+    Mutex.protect st.obs_lock (fun () ->
+        locked st (fun () -> st.executions <- st.executions + 1);
+        let style =
+          if String.equal spec.style "pla" then Sc_core.Compiler.Pla_control
+          else Sc_core.Compiler.Random_logic
+        in
+        Obs.reset ();
+        Obs.enable ();
+        Pipeline.reset_log ();
+        let res =
+          Sc_core.Compiler.compile_behavior ~style ~restarts:spec.restarts
+            spec.source
+        in
+        let passes =
+          List.map
+            (fun (name, s) -> (name, Pipeline.status_to_string s))
+            (Pipeline.log ())
+        in
+        match res with
+        | Ok (c, circuit) ->
+          let snapshot = Metrics.capture ~design:spec.design () in
+          Obs.disable ();
+          let s = Sc_netlist.Circuit.stats circuit in
+          O_ok
+            { snapshot
+            ; cif_bytes = String.length c.Sc_core.Compiler.cif
+            ; gates = s.Sc_netlist.Circuit.gate_total
+            ; flipflops = s.Sc_netlist.Circuit.flipflops
+            ; transistors = c.Sc_core.Compiler.transistors
+            ; area = c.Sc_core.Compiler.area
+            ; drc_violations = c.Sc_core.Compiler.drc_violations
+            ; passes
+            }
+        | Error d ->
+          Obs.disable ();
+          O_diag d)
+  | other ->
+    O_diag
+      (Diag.v ~stage:"serve"
+         (Printf.sprintf "unknown style %S (expected \"gates\" or \"pla\")"
+            other))
+
+let compile_key (spec : P.compile_spec) =
+  Sc_cache.Cache.digest
+    (spec.style ^ "|" ^ string_of_int spec.restarts ^ "\x00" ^ spec.source)
+
+(* run [compute] once per in-flight key: the first requester executes,
+   concurrent identical requests wait and share the outcome *)
+let deduplicated st key compute =
+  let claim =
+    locked st (fun () ->
+        match Hashtbl.find_opt st.inflight key with
+        | Some p ->
+          st.dedup_hits <- st.dedup_hits + 1;
+          `Join p
+        | None ->
+          let p = { result = None } in
+          Hashtbl.replace st.inflight key p;
+          `Execute p)
+  in
+  match claim with
+  | `Join p ->
+    Mutex.lock st.lock;
+    let rec wait () =
+      match p.result with
+      | Some r -> r
+      | None ->
+        Condition.wait st.done_cond st.lock;
+        wait ()
+    in
+    let r = wait () in
+    Mutex.unlock st.lock;
+    r
+  | `Execute p ->
+    let r =
+      try compute ()
+      with e -> O_diag (Diag.of_exn ~stage:"serve" e)
+    in
+    locked st (fun () ->
+        p.result <- Some r;
+        Hashtbl.remove st.inflight key;
+        Condition.broadcast st.done_cond);
+    r
+
+let compile st spec = deduplicated st (compile_key spec) (fun () -> do_compile st spec)
+
+(* --- equiv --- *)
+
+let resolve_circuit spec =
+  match String.index_opt spec ':' with
+  | Some i -> (
+    let kind = String.sub spec 0 i in
+    let name = String.sub spec (i + 1) (String.length spec - i - 1) in
+    match kind with
+    | "hand" -> (
+      match name with
+      | "counter" -> Ok (Sc_core.Designs.hand_counter ())
+      | "traffic" -> Ok (Sc_core.Designs.hand_traffic ())
+      | "alu" | "alu4" -> Ok (Sc_core.Designs.hand_alu ())
+      | "pdp8" -> Ok (Sc_core.Designs.hand_pdp8 ())
+      | "pdp8_dp" -> Ok (Sc_core.Designs.hand_pdp8_dp ())
+      | n -> Error ("unknown hand design " ^ n))
+    | "isp" -> (
+      match Sc_core.Designs.builtin name with
+      | Some src -> (
+        match Sc_synth.Synth.gates (Sc_core.Designs.parse src) with
+        | r -> Ok r.Sc_synth.Synth.circuit
+        | exception Diag.Error d -> Error (Diag.to_string d))
+      | None -> Error ("unknown builtin design " ^ name))
+    | k -> Error ("unknown circuit kind " ^ k ^ " (expected hand: or isp:)"))
+  | None -> Error (spec ^ ": expected hand:NAME or isp:NAME")
+
+let do_equiv st ~a ~b ~k =
+  match (resolve_circuit a, resolve_circuit b) with
+  | Error e, _ | _, Error e -> P.Error_reply { stage = "equiv"; message = e }
+  | Ok ca, Ok cb -> (
+    (* the BDD engine runs on the shared pool; serialize with compiles *)
+    match
+      Mutex.protect st.obs_lock (fun () ->
+          Sc_equiv.Checker.check_cones ~k ca cb)
+    with
+    | Sc_equiv.Checker.Equivalent ->
+      P.Equiv_verdict { equivalent = true; detail = "equivalent" }
+    | Sc_equiv.Checker.Not_equivalent _ as v ->
+      P.Equiv_verdict
+        { equivalent = false
+        ; detail = Format.asprintf "%a" Sc_equiv.Checker.pp_verdict v
+        }
+    | exception Invalid_argument e ->
+      P.Error_reply { stage = "equiv"; message = e }
+    | exception Sc_equiv.Miter.Mismatch e ->
+      P.Error_reply { stage = "equiv"; message = "port mismatch: " ^ e })
+
+(* --- request dispatch --- *)
+
+let compiled_response (o : outcome) mk =
+  match o with
+  | O_diag d ->
+    P.Error_reply { stage = d.Diag.stage; message = d.Diag.message }
+  | O_ok r -> mk r
+
+let server_stats st =
+  locked st (fun () ->
+      { requests = st.requests
+      ; in_flight = st.active
+      ; dedup_hits = st.dedup_hits
+      ; executions = st.executions
+      })
+
+let stats_reply st =
+  let s = server_stats st in
+  let cache =
+    List.fold_left
+      (fun (h, dh, m, st', ev) (_, (c : Sc_cache.Cache.stats)) ->
+        ( h + c.Sc_cache.Cache.hits
+        , dh + c.Sc_cache.Cache.disk_hits
+        , m + c.Sc_cache.Cache.misses
+        , st' + c.Sc_cache.Cache.stale
+        , ev + c.Sc_cache.Cache.evictions ))
+      (0, 0, 0, 0, 0)
+      (Pipeline.cache_stats ())
+  in
+  let h, dh, m, stale, ev = cache in
+  P.Stats_reply
+    [ ("serve.requests", s.requests)
+    ; ("serve.in_flight", s.in_flight)
+    ; ("serve.dedup_hits", s.dedup_hits)
+    ; ("serve.executions", s.executions)
+    ; ("cache.hits", h)
+    ; ("cache.disk_hits", dh)
+    ; ("cache.misses", m)
+    ; ("cache.stale", stale)
+    ; ("cache.evictions", ev)
+    ]
+
+let handle st (req : P.request) : P.response =
+  match req with
+  | P.Compile spec ->
+    compiled_response (compile st spec) (fun r ->
+        P.Compiled
+          { snapshot = Metrics.to_json r.snapshot
+          ; cif_bytes = r.cif_bytes
+          ; gates = r.gates
+          ; flipflops = r.flipflops
+          ; transistors = r.transistors
+          ; area = r.area
+          ; drc_violations = r.drc_violations
+          ; passes = r.passes
+          })
+  | P.Report spec ->
+    compiled_response (compile st spec) (fun r ->
+        P.Reported (Format.asprintf "%a" Metrics.pp_snapshot r.snapshot))
+  | P.Diff { spec; baseline } -> (
+    match Metrics.of_json baseline with
+    | Error e -> P.Error_reply { stage = "diff"; message = "baseline: " ^ e }
+    | Ok base ->
+      compiled_response (compile st spec) (fun r ->
+          let report = Metrics.diff base r.snapshot in
+          P.Diffed
+            { report = Format.asprintf "%a" Metrics.pp_report report
+            ; regressed = Metrics.gate report
+            }))
+  | P.Equiv { a; b; k } -> do_equiv st ~a ~b ~k
+  | P.Stats -> stats_reply st
+  | P.Shutdown -> P.Bye
+
+let safe_handle st req =
+  try handle st req
+  with e ->
+    let d = Diag.of_exn ~stage:"serve" e in
+    P.Error_reply { stage = d.Diag.stage; message = d.Diag.message }
+
+(* --- connections --- *)
+
+let request_stop st =
+  let first =
+    locked st (fun () ->
+        if st.stop then false
+        else begin
+          st.stop <- true;
+          true
+        end)
+  in
+  if first then
+    (* one byte on the self-pipe wakes the accept loop's select *)
+    try ignore (Unix.write st.stop_w (Bytes.make 1 'x') 0 1) with _ -> ()
+
+let serve_connection st fd =
+  let rec loop () =
+    match P.read_frame fd with
+    | Ok None -> ()
+    | Error e ->
+      (* protocol violation: answer once, then drop the connection *)
+      (try
+         P.write_frame fd
+           (P.string_of_response
+              (P.Error_reply { stage = "protocol"; message = e }))
+       with _ -> ())
+    | Ok (Some payload) ->
+      locked st (fun () ->
+          st.requests <- st.requests + 1;
+          st.active <- st.active + 1);
+      let resp, shutdown =
+        match P.request_of_string payload with
+        | Error e ->
+          (P.Error_reply { stage = "protocol"; message = e }, false)
+        | Ok P.Shutdown -> (P.Bye, true)
+        | Ok req -> (safe_handle st req, false)
+      in
+      locked st (fun () -> st.active <- st.active - 1);
+      let sent =
+        try
+          P.write_frame fd (P.string_of_response resp);
+          true
+        with _ -> false
+      in
+      if shutdown then request_stop st
+      else if sent then loop ()
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      locked st (fun () ->
+          st.conns <- List.filter (fun c -> c != fd) st.conns);
+      try Unix.close fd with _ -> ())
+    loop
+
+(* --- the daemon --- *)
+
+let run ?(jobs = 1) ?stage_cache ?(handle_signals = true) ~socket () =
+  Sc_par.Pool.set_default_size jobs;
+  (match stage_cache with
+  | Some dir -> Pipeline.enable_cache ~dir ()
+  | None -> Pipeline.enable_cache ());
+  if Sys.file_exists socket then (try Unix.unlink socket with _ -> ());
+  let listen_fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind listen_fd (Unix.ADDR_UNIX socket);
+  Unix.listen listen_fd 64;
+  let stop_r, stop_w = Unix.pipe () in
+  let st =
+    { lock = Mutex.create ()
+    ; done_cond = Condition.create ()
+    ; inflight = Hashtbl.create 16
+    ; requests = 0
+    ; active = 0
+    ; dedup_hits = 0
+    ; executions = 0
+    ; stop = false
+    ; conns = []
+    ; threads = []
+    ; obs_lock = Mutex.create ()
+    ; listen_fd
+    ; stop_w
+    }
+  in
+  if handle_signals then begin
+    let stop_on _ = request_stop st in
+    (try Sys.set_signal Sys.sigterm (Sys.Signal_handle stop_on)
+     with Invalid_argument _ -> ());
+    (try Sys.set_signal Sys.sigint (Sys.Signal_handle stop_on)
+     with Invalid_argument _ -> ());
+    try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+    with Invalid_argument _ -> ()
+  end;
+  Printf.eprintf "scc serve: listening on %s (%s, jobs %d)\n%!" socket
+    (match stage_cache with
+    | Some dir -> "stage cache " ^ dir
+    | None -> "stage cache in memory")
+    jobs;
+  let rec accept_loop () =
+    if not (locked st (fun () -> st.stop)) then begin
+      match Unix.select [ listen_fd; stop_r ] [] [] (-1.0) with
+      | ready, _, _ ->
+        if List.memq stop_r ready then () (* stop byte: fall through *)
+        else begin
+          (match Unix.accept listen_fd with
+          | fd, _ ->
+            locked st (fun () -> st.conns <- fd :: st.conns);
+            let t = Thread.create (fun () -> serve_connection st fd) () in
+            locked st (fun () -> st.threads <- t :: st.threads)
+          | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _)
+            ->
+            ());
+          accept_loop ()
+        end
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+    end
+  in
+  accept_loop ();
+  (* wake any connection blocked between frames, then drain *)
+  let conns = locked st (fun () -> st.conns) in
+  List.iter
+    (fun fd -> try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE with _ -> ())
+    conns;
+  List.iter Thread.join (locked st (fun () -> st.threads));
+  (try Unix.close listen_fd with _ -> ());
+  (try Unix.close stop_r with _ -> ());
+  (try Unix.close stop_w with _ -> ());
+  (try Unix.unlink socket with _ -> ());
+  let s = server_stats st in
+  Printf.eprintf
+    "scc serve: shutdown after %d requests (%d executions, %d dedup hits)\n%!"
+    s.requests s.executions s.dedup_hits;
+  0

@@ -1,0 +1,56 @@
+(** The compile daemon: many concurrent clients, one warm stage cache.
+
+    [run] binds a Unix domain socket and serves {!Protocol} frames until
+    a [Shutdown] request or (by default) SIGTERM/SIGINT.  Each
+    connection gets its own lightweight thread; the threads spend their
+    lives in socket I/O and hand actual compilations to one shared
+    execution path, so the process-global pass manager
+    ({!Sc_pipeline.Pipeline}), its content-addressed stage cache
+    ({!Sc_cache.Cache}, sharded on disk when [stage_cache] is given) and
+    the {!Sc_par.Pool} worker domains are shared by every client — the
+    second client to ask for a design pays cache-hit prices for work the
+    first one caused.
+
+    {2 Deduplication}
+
+    Requests are keyed on [digest (style | restarts | source)].  While a
+    compilation for a key is in flight, further requests for the same
+    key do not execute: they wait on the first one and share its result
+    (the server's [dedup_hits] counter records each such join).  Two
+    clients saving the same file and recompiling cost one pipeline
+    execution.
+
+    {2 Observability}
+
+    The process-global {!Sc_obs.Obs} recorder is session-scoped by the
+    server: each executed compilation resets and enables it, runs the
+    pipeline, and captures an {!Sc_metrics.Metrics} snapshot before the
+    next request may use it (executions are serialized on a dedicated
+    lock; connection handling and cache-hit waiters stay concurrent).
+    Snapshots are therefore exactly what single-shot
+    [scc isp D --metrics] produces — byte-identical QoR — which is what
+    bench e14 and the serve-smoke CI job assert.  Server-level counters
+    (requests, in-flight, dedup hits, executions) live outside the
+    recorder and are served by the [Stats] verb. *)
+
+type stats =
+  { requests : int  (** frames answered since startup *)
+  ; in_flight : int  (** requests currently being handled *)
+  ; dedup_hits : int  (** requests that joined an in-flight execution *)
+  ; executions : int  (** pipeline runs actually performed *)
+  }
+
+val run :
+  ?jobs:int ->
+  ?stage_cache:string ->
+  ?handle_signals:bool ->
+  socket:string ->
+  unit ->
+  int
+(** [run ~socket ()] — bind [socket] (an existing file is replaced),
+    serve until shutdown, unlink the socket, and return the process
+    exit code.  [jobs] sizes the default worker pool (default 1);
+    [stage_cache] persists pass artifacts under the given directory so
+    a restarted daemon comes back warm; [handle_signals] (default
+    [true]) installs SIGTERM/SIGINT handlers for clean shutdown — pass
+    [false] when embedding the server in a test or bench thread. *)

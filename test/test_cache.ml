@@ -40,18 +40,23 @@ let test_capacity_clamped () =
   let c : int Cache.t = Cache.create ~capacity:0 ~name:"t" () in
   check_bool "capacity at least 1" true ((Cache.stats c).Cache.capacity >= 1)
 
+(* disk stores shard entries into subdirectories, so cleanup recurses *)
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
 let with_temp_dir f =
   let dir = Filename.temp_file "scc-cache-test" "" in
   Sys.remove dir;
-  Fun.protect
-    ~finally:(fun () ->
-      if Sys.file_exists dir then begin
-        Array.iter
-          (fun f -> Sys.remove (Filename.concat dir f))
-          (Sys.readdir dir);
-        Sys.rmdir dir
-      end)
-    (fun () -> f dir)
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+(* where the disk layer puts an entry: dir/<first 2 key chars>/<name>-<key> *)
+let entry_path dir name key =
+  Filename.concat (Filename.concat dir (String.sub key 0 2)) (name ^ "-" ^ key)
 
 let test_disk_persistence () =
   with_temp_dir @@ fun dir ->
@@ -98,6 +103,70 @@ let test_lookup_add () =
   match Cache.lookup d2 (k "x") with
   | `Memory 9 -> ()
   | _ -> Alcotest.fail "a disk hit should load the value into memory"
+
+let test_shard_layout () =
+  with_temp_dir @@ fun dir ->
+  let c : int Cache.t = Cache.create ~dir ~name:"s" () in
+  let key = k "sharded" in
+  Cache.add c key 11;
+  check_bool "entry lands in its shard subdirectory" true
+    (Sys.file_exists (entry_path dir "s" key));
+  (* no tmp files survive the write-to-temp + rename protocol *)
+  let leftovers = ref [] in
+  let rec scan p =
+    if Sys.is_directory p then
+      Array.iter (fun f -> scan (Filename.concat p f)) (Sys.readdir p)
+    else if
+      String.split_on_char '.' (Filename.basename p)
+      |> List.exists (String.equal "tmp")
+    then leftovers := p :: !leftovers
+  in
+  scan dir;
+  check_bool "no tmp files left behind" true (!leftovers = [])
+
+(* a stale or foreign disk entry must read as a miss, never a crash *)
+let test_disk_header_staleness () =
+  with_temp_dir @@ fun dir ->
+  let key = k "victim" in
+  let write_raw bytes =
+    let path = entry_path dir "h" key in
+    let oc = open_out_bin path in
+    bytes oc;
+    close_out oc
+  in
+  let fresh_misses expect_stale name =
+    let c : int Cache.t = Cache.create ~dir ~name:"h" () in
+    (match Cache.lookup c key with
+    | `Absent -> ()
+    | _ -> Alcotest.fail (name ^ ": should read as a miss"));
+    check_int (name ^ ": stale counted") expect_stale (Cache.stats c).Cache.stale
+  in
+  (* seed a valid entry so the shard directory exists *)
+  let c : int Cache.t = Cache.create ~dir ~name:"h" () in
+  Cache.add c key 5;
+  (* wrong magic: a file some other program (or an old scc) wrote *)
+  write_raw (fun oc -> output_string oc "NOTCACHE0 junk");
+  fresh_misses 1 "wrong magic";
+  (* right magic, wrong format version *)
+  write_raw (fun oc ->
+      output_string oc "SCCCACHE";
+      output_binary_int oc 999_999);
+  fresh_misses 1 "wrong version";
+  (* right header, torn payload: Marshal must not escape as a crash *)
+  write_raw (fun oc ->
+      output_string oc "SCCCACHE";
+      output_binary_int oc 1;
+      output_string oc "torn");
+  fresh_misses 1 "torn payload";
+  (* an empty file (a writer that died before the header) *)
+  write_raw (fun _ -> ());
+  fresh_misses 1 "empty file";
+  (* and a good entry still round-trips after all that *)
+  let c2 : int Cache.t = Cache.create ~dir ~name:"h" () in
+  Cache.add c2 key 6;
+  let c3 : int Cache.t = Cache.create ~dir ~name:"h" () in
+  check_bool "valid entry still served" true (Cache.lookup c3 key = `Disk 6);
+  check_int "no stale on the valid entry" 0 (Cache.stats c3).Cache.stale
 
 (* the stage cache under the compiler: per-pass stores, errors uncached *)
 let test_compiler_stage_cache () =
@@ -148,6 +217,9 @@ let suite =
   ; Alcotest.test_case "capacity clamped" `Quick test_capacity_clamped
   ; Alcotest.test_case "disk persistence" `Quick test_disk_persistence
   ; Alcotest.test_case "lookup/add tiers" `Quick test_lookup_add
+  ; Alcotest.test_case "sharded disk layout" `Quick test_shard_layout
+  ; Alcotest.test_case "stale disk headers read as misses" `Quick
+      test_disk_header_staleness
   ; Alcotest.test_case "compiler stage cache" `Quick
       test_compiler_stage_cache
   ]

@@ -1,0 +1,288 @@
+(* The compile daemon: wire protocol codecs, frame handling on real
+   file descriptors, and a live in-process server exercised over its
+   Unix-domain socket — including the in-flight dedup guarantee. *)
+
+module P = Sc_serve.Protocol
+module Json = Sc_obs.Json
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- codecs: every variant survives encode -> decode --- *)
+
+let spec =
+  { P.design = "counter"
+  ; source = "module counter; inputs a[1]; end"
+  ; style = "gates"
+  ; restarts = 3
+  }
+
+let requests : (string * P.request) list =
+  [ ("compile", P.Compile spec)
+  ; ("report", P.Report { spec with P.style = "pla"; restarts = 0 })
+  ; ( "diff"
+    , P.Diff
+        { spec
+        ; baseline =
+            Json.Obj [ ("qor", Json.Obj [ ("area", Json.Num 84000.) ]) ]
+        } )
+  ; ("equiv", P.Equiv { a = "isp:counter"; b = "hand:counter"; k = 8 })
+  ; ("stats", P.Stats)
+  ; ("shutdown", P.Shutdown)
+  ]
+
+let responses : (string * P.response) list =
+  [ ( "compiled"
+    , P.Compiled
+        { snapshot = Json.Obj [ ("design", Json.Str "counter") ]
+        ; cif_bytes = 18880
+        ; gates = 22
+        ; flipflops = 4
+        ; transistors = 250
+        ; area = 84000
+        ; drc_violations = 0
+        ; passes = [ ("parse", "ran"); ("emit", "hit (memory)") ]
+        } )
+  ; ("reported", P.Reported "a table\nwith lines\n")
+  ; ("diffed", P.Diffed { report = "all neutral"; regressed = false })
+  ; ("equiv", P.Equiv_verdict { equivalent = true; detail = "equivalent" })
+  ; ("stats", P.Stats_reply [ ("serve.requests", 7); ("cache.hits", 40) ])
+  ; ("bye", P.Bye)
+  ; ("error", P.Error_reply { stage = "parse"; message = "line 3: nope" })
+  ]
+
+let test_request_roundtrip () =
+  List.iter
+    (fun (name, req) ->
+      match P.request_of_string (P.string_of_request req) with
+      | Ok got -> check_bool (name ^ " roundtrips") true (got = req)
+      | Error e -> Alcotest.failf "%s failed to decode: %s" name e)
+    requests
+
+let test_response_roundtrip () =
+  List.iter
+    (fun (name, resp) ->
+      match P.response_of_string (P.string_of_response resp) with
+      | Ok got -> check_bool (name ^ " roundtrips") true (got = resp)
+      | Error e -> Alcotest.failf "%s failed to decode: %s" name e)
+    responses
+
+let test_decode_rejects_garbage () =
+  let bad s =
+    match (P.request_of_string s, P.response_of_string s) with
+    | Error _, Error _ -> ()
+    | _ -> Alcotest.failf "decoded garbage %S" s
+  in
+  bad "not json at all";
+  bad "{\"t\": \"launch_missiles\"}";
+  bad "{\"no\": \"tag\"}";
+  (* a request with the right tag but a missing field *)
+  bad "{\"t\": \"compile\", \"design\": \"counter\"}"
+
+(* --- framing on real file descriptors --- *)
+
+let with_pipe f =
+  let r, w = Unix.pipe () in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close r with _ -> ());
+      try Unix.close w with _ -> ())
+    (fun () -> f r w)
+
+let write_all w s =
+  let b = Bytes.of_string s in
+  let n = Unix.write w b 0 (Bytes.length b) in
+  check_int "short write in test rig" (Bytes.length b) n
+
+let test_frame_roundtrip () =
+  with_pipe @@ fun r w ->
+  P.write_frame w "hello frames";
+  P.write_frame w "";
+  (match P.read_frame r with
+  | Ok (Some "hello frames") -> ()
+  | _ -> Alcotest.fail "first frame lost");
+  (match P.read_frame r with
+  | Ok (Some "") -> ()
+  | _ -> Alcotest.fail "empty frame is legal");
+  Unix.close w;
+  match P.read_frame r with
+  | Ok None -> ()
+  | _ -> Alcotest.fail "closing between frames is a clean EOF"
+
+let test_frame_truncated_header () =
+  with_pipe @@ fun r w ->
+  write_all w "\x00\x00";
+  Unix.close w;
+  match P.read_frame r with
+  | Error e ->
+    check_bool "mentions truncation" true
+      (String.length e > 0 && String.sub e 0 9 = "truncated")
+  | _ -> Alcotest.fail "a torn header must be an error, not EOF"
+
+let test_frame_truncated_payload () =
+  with_pipe @@ fun r w ->
+  (* header promises 10 bytes, the stream dies after 3 *)
+  write_all w "\x00\x00\x00\x0aabc";
+  Unix.close w;
+  match P.read_frame r with
+  | Error _ -> ()
+  | _ -> Alcotest.fail "a torn payload must be an error"
+
+let test_frame_oversized () =
+  with_pipe @@ fun r w ->
+  (* 4 GiB - 1 claimed: rejected from the header alone, nothing read *)
+  write_all w "\xff\xff\xff\xff";
+  match P.read_frame r with
+  | Error e ->
+    check_bool "mentions the limit" true
+      (String.length e >= 9 && String.sub e 0 9 = "oversized")
+  | _ -> Alcotest.fail "an oversized length must be rejected"
+
+(* --- the live daemon --- *)
+
+let with_server f =
+  let socket =
+    Filename.temp_file "scc-test-serve" ".sock"
+  in
+  Sys.remove socket;
+  let exit_code = ref (-1) in
+  let server =
+    Thread.create
+      (fun () ->
+        exit_code :=
+          Sc_serve.Server.run ~jobs:1 ~handle_signals:false ~socket ())
+      ()
+  in
+  let rec await n =
+    if n = 0 then Alcotest.fail "daemon did not come up"
+    else if not (Sys.file_exists socket) then begin
+      Thread.delay 0.05;
+      await (n - 1)
+    end
+  in
+  await 100;
+  Fun.protect
+    ~finally:(fun () ->
+      (match Sc_serve.Client.one_shot socket P.Shutdown with
+      | Ok P.Bye | Ok _ | Error _ -> ());
+      Thread.join server;
+      check_int "daemon exits 0" 0 !exit_code;
+      check_bool "socket unlinked on shutdown" false (Sys.file_exists socket);
+      (* the daemon enables the process-global stage cache; put the
+         world back for whatever test runs next *)
+      Sc_pipeline.Pipeline.disable_cache ();
+      Sc_pipeline.Pipeline.clear_caches ())
+    (fun () -> f socket)
+
+let rpc socket req =
+  match Sc_serve.Client.one_shot socket req with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "rpc failed: %s" e
+
+let stat socket key =
+  match rpc socket P.Stats with
+  | P.Stats_reply kvs -> (
+    match List.assoc_opt key kvs with
+    | Some v -> v
+    | None -> Alcotest.failf "no %s counter" key)
+  | _ -> Alcotest.fail "expected Stats_reply"
+
+let counter_spec =
+  match Sc_core.Designs.builtin "counter" with
+  | Some source ->
+    { P.design = "counter"; source; style = "gates"; restarts = 0 }
+  | None -> assert false
+
+let pdp8_spec =
+  match Sc_core.Designs.builtin "pdp8" with
+  | Some source -> { P.design = "pdp8"; source; style = "gates"; restarts = 0 }
+  | None -> assert false
+
+let test_two_client_dedup () =
+  with_server @@ fun socket ->
+  (* two clients, one slow cold compile in flight: exactly one pipeline
+     execution, the second rides along as a dedup hit *)
+  let replies = Array.make 2 None in
+  let threads =
+    List.init 2 (fun i ->
+        Thread.create
+          (fun () ->
+            replies.(i) <- Some (rpc socket (P.Compile pdp8_spec)))
+          ())
+  in
+  List.iter Thread.join threads;
+  let snapshots =
+    Array.to_list replies
+    |> List.map (function
+         | Some (P.Compiled c) -> Json.to_string c.P.snapshot
+         | Some (P.Error_reply { stage; message }) ->
+           Alcotest.failf "compile failed: %s: %s" stage message
+         | _ -> Alcotest.fail "expected Compiled")
+  in
+  (match snapshots with
+  | [ a; b ] -> check_bool "both clients share one snapshot" true (a = b)
+  | _ -> assert false);
+  check_int "one pipeline execution" 1 (stat socket "serve.executions");
+  check_bool "dedup hit counted" true (stat socket "serve.dedup_hits" >= 1);
+  (* a later identical request is warm: it executes, but every pass is
+     served from the shared stage cache *)
+  match rpc socket (P.Compile pdp8_spec) with
+  | P.Compiled c ->
+    check_bool "warm request: all passes hit" true
+      (c.P.passes <> []
+      && List.for_all (fun (_, st) -> st = "hit (memory)") c.P.passes)
+  | _ -> Alcotest.fail "expected Compiled"
+
+let test_server_verbs_and_errors () =
+  with_server @@ fun socket ->
+  (* report renders the same compile as a table *)
+  (match rpc socket (P.Report counter_spec) with
+  | P.Reported text -> check_bool "report has content" true (String.length text > 0)
+  | _ -> Alcotest.fail "expected Reported");
+  (* equiv through the daemon *)
+  (match rpc socket (P.Equiv { a = "isp:counter"; b = "hand:counter"; k = 8 }) with
+  | P.Equiv_verdict { equivalent = true; _ } -> ()
+  | _ -> Alcotest.fail "counter should be equivalent to its hand baseline");
+  (match rpc socket (P.Equiv { a = "isp:nonsuch"; b = "hand:counter"; k = 8 }) with
+  | P.Error_reply _ -> ()
+  | _ -> Alcotest.fail "unknown design must be a structured error");
+  (* a broken source is a Diag error carried as a value *)
+  (match
+     rpc socket (P.Compile { counter_spec with P.source = "not ISP at all" })
+   with
+  | P.Error_reply { stage; _ } ->
+    check_bool "error carries its stage" true (String.length stage > 0)
+  | _ -> Alcotest.fail "expected Error_reply");
+  (* an unknown style is rejected without touching the pipeline *)
+  (match rpc socket (P.Compile { counter_spec with P.style = "quantum" }) with
+  | P.Error_reply { stage = "serve"; _ } -> ()
+  | _ -> Alcotest.fail "unknown style must be rejected");
+  (* a frame that is not JSON gets a protocol error back on the same
+     connection rather than killing the daemon *)
+  match
+    Sc_serve.Client.with_connection socket (fun fd ->
+        P.write_frame fd "this is not a request";
+        match P.read_frame fd with
+        | Ok (Some payload) -> P.response_of_string payload
+        | _ -> Error "no reply to garbage frame")
+  with
+  | Ok (P.Error_reply { stage = "protocol"; _ }) -> ()
+  | _ -> Alcotest.fail "garbage frame must yield a protocol error"
+
+let suite =
+  [ Alcotest.test_case "request codecs roundtrip" `Quick test_request_roundtrip
+  ; Alcotest.test_case "response codecs roundtrip" `Quick
+      test_response_roundtrip
+  ; Alcotest.test_case "decode rejects garbage" `Quick
+      test_decode_rejects_garbage
+  ; Alcotest.test_case "frame roundtrip and clean EOF" `Quick
+      test_frame_roundtrip
+  ; Alcotest.test_case "truncated header rejected" `Quick
+      test_frame_truncated_header
+  ; Alcotest.test_case "truncated payload rejected" `Quick
+      test_frame_truncated_payload
+  ; Alcotest.test_case "oversized length rejected" `Quick test_frame_oversized
+  ; Alcotest.test_case "two-client dedup" `Quick test_two_client_dedup
+  ; Alcotest.test_case "verbs and structured errors" `Quick
+      test_server_verbs_and_errors
+  ]
