@@ -4,6 +4,7 @@
      scc layout FILE    compile a layout-language program to CIF
      scc behavior FILE  compile an ISP behavioral description to CIF
      scc isp DESIGN     compile a builtin design (or ISP file), with profiling
+     scc verilog FILE   compile a synthesizable-Verilog module to CIF
      scc drc FILE       design-rule-check a CIF file
      scc stats FILE     report area/device statistics of a CIF file
      scc sim FILE       interpret an ISP description with a trivial stimulus
@@ -400,6 +401,55 @@ let isp_cmd =
       $ metrics_arg $ jobs_arg $ stage_cache_arg $ cache_dir_arg $ explain_arg
       $ restarts_arg)
 
+(* --- verilog: the second behavioral frontend; elaborates to the same
+   design IR as the ISP parser and runs the identical gates pipeline *)
+
+let verilog_cmd =
+  let dump_isp_arg =
+    Arg.(
+      value & flag
+      & info [ "dump-isp" ]
+          ~doc:
+            "Print the elaborated design in the ISP-level IR instead of \
+             compiling (shows exactly what the shared pipeline will see).")
+  in
+  let run file output dump_isp stats trace metrics jobs stage_cache cache_dir
+      explain restarts =
+    let src = read_file file in
+    if dump_isp then (
+      match Sc_core.Compiler.verilog_design src with
+      | Error d -> report_diag d
+      | Ok design ->
+        Format.printf "%a@." Sc_rtl.Ast.pp design;
+        0)
+    else
+      with_jobs jobs @@ fun () ->
+      with_pipeline ~stage_cache ~cache_dir ~explain @@ fun () ->
+      instrumented ~stats ~trace ~metrics ~design:(design_of_path file)
+        ~table:Format.std_formatter (fun () ->
+          match Sc_core.Compiler.compile_verilog ~restarts src with
+          | Error d -> report_diag d
+          | Ok (c, circuit) ->
+            let s = Sc_netlist.Circuit.stats circuit in
+            Printf.eprintf "netlist: %d gates, %d flip-flops\n%!"
+              s.Sc_netlist.Circuit.gate_total s.Sc_netlist.Circuit.flipflops;
+            report_compiled c;
+            (match output with
+            | Some _ -> write_out output c.Sc_core.Compiler.cif
+            | None -> ());
+            0)
+  in
+  Cmd.v
+    (Cmd.info "verilog"
+       ~doc:
+         "Compile a synthesizable-Verilog module to layout through the \
+          shared behavioral pipeline (the supported subset is documented \
+          in docs/VERILOG.md).")
+    Term.(
+      const run $ file_arg $ output_arg $ dump_isp_arg $ stats_arg $ trace_arg
+      $ metrics_arg $ jobs_arg $ stage_cache_arg $ cache_dir_arg $ explain_arg
+      $ restarts_arg)
+
 (* --- drc / stats on CIF files --- *)
 
 let with_cif file k =
@@ -538,6 +588,10 @@ let resolve_circuit spec =
         ^ String.sub spec (i + 1) (String.length spec - i - 1)))
     | _ ->
       if not (Sys.file_exists spec) then Error ("no such file: " ^ spec)
+      else if Filename.check_suffix spec ".v" then (
+        match Sc_core.Compiler.verilog_design (read_file spec) with
+        | Error d -> Error (spec ^ ": " ^ Sc_pipeline.Diag.to_string d)
+        | Ok design -> Ok (Sc_synth.Synth.gates design).Sc_synth.Synth.circuit)
       else (
         match Sc_rtl.Parser.parse (read_file spec) with
         | Error e -> Error (spec ^ ": " ^ e)
@@ -553,7 +607,8 @@ let equiv_cmd =
       & info [] ~docv:name
           ~doc:
             "Circuit: $(b,hand:)NAME (hand baseline), $(b,isp:)NAME \
-             (builtin ISP source, synthesized) or an ISP file path.")
+             (builtin ISP source, synthesized), an ISP file path, or a \
+             Verilog file path (*.v, elaborated then synthesized).")
   in
   let k_arg =
     Arg.(
@@ -787,42 +842,44 @@ let unexpected () =
   Printf.eprintf "error: unexpected response from daemon\n";
   2
 
+(* send a Compile RPC and render the daemon's reply (shared by the ISP
+   and Verilog client verbs) *)
+let client_compile_rpc socket spec metrics explain =
+  client_call socket (Sc_serve.Protocol.Compile spec) (function
+    | Sc_serve.Protocol.Compiled r ->
+      Printf.eprintf
+        "%s: %d gates, %d flip-flops, %d transistors, area %d, CIF %d \
+         bytes, DRC %s\n%!"
+        spec.Sc_serve.Protocol.design r.Sc_serve.Protocol.gates
+        r.Sc_serve.Protocol.flipflops r.Sc_serve.Protocol.transistors
+        r.Sc_serve.Protocol.area r.Sc_serve.Protocol.cif_bytes
+        (if r.Sc_serve.Protocol.drc_violations = 0 then "clean"
+         else
+           string_of_int r.Sc_serve.Protocol.drc_violations ^ " violations");
+      if explain then
+        List.iter
+          (fun (pass, status) -> Printf.eprintf "  %-10s %s\n%!" pass status)
+          r.Sc_serve.Protocol.passes;
+      (match metrics with
+      | None -> 0
+      | Some path -> (
+        match Sc_metrics.Metrics.of_json r.Sc_serve.Protocol.snapshot with
+        | Error e ->
+          Printf.eprintf "error: bad snapshot from daemon: %s\n" e;
+          2
+        | Ok s ->
+          Sc_metrics.Metrics.write path s;
+          Printf.eprintf "metrics written to %s\n%!" path;
+          0))
+    | _ -> unexpected ())
+
 let client_compile_cmd =
   let run socket design style restarts metrics explain =
     match resolve_spec design style restarts with
     | Error e ->
       Printf.eprintf "error: %s\n" e;
       2
-    | Ok spec ->
-      client_call socket (Sc_serve.Protocol.Compile spec) (function
-        | Sc_serve.Protocol.Compiled r ->
-          Printf.eprintf
-            "%s: %d gates, %d flip-flops, %d transistors, area %d, CIF %d \
-             bytes, DRC %s\n%!"
-            spec.Sc_serve.Protocol.design r.Sc_serve.Protocol.gates
-            r.Sc_serve.Protocol.flipflops r.Sc_serve.Protocol.transistors
-            r.Sc_serve.Protocol.area r.Sc_serve.Protocol.cif_bytes
-            (if r.Sc_serve.Protocol.drc_violations = 0 then "clean"
-             else
-               string_of_int r.Sc_serve.Protocol.drc_violations
-               ^ " violations");
-          if explain then
-            List.iter
-              (fun (pass, status) ->
-                Printf.eprintf "  %-10s %s\n%!" pass status)
-              r.Sc_serve.Protocol.passes;
-          (match metrics with
-          | None -> 0
-          | Some path -> (
-            match Sc_metrics.Metrics.of_json r.Sc_serve.Protocol.snapshot with
-            | Error e ->
-              Printf.eprintf "error: bad snapshot from daemon: %s\n" e;
-              2
-            | Ok s ->
-              Sc_metrics.Metrics.write path s;
-              Printf.eprintf "metrics written to %s\n%!" path;
-              0))
-        | _ -> unexpected ())
+    | Ok spec -> client_compile_rpc socket spec metrics explain
   in
   Cmd.v
     (Cmd.info "compile"
@@ -833,6 +890,62 @@ let client_compile_cmd =
     Term.(
       const run $ socket_arg $ client_design_arg $ style_arg $ restarts_arg
       $ metrics_arg $ explain_arg)
+
+let client_verilog_cmd =
+  let vfile_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE"
+          ~doc:"A Verilog file path (read locally; the source text is \
+                sent inline with style \"verilog\").")
+  in
+  let baseline_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "baseline" ] ~docv:"FILE"
+          ~doc:
+            "Instead of printing the summary, diff the daemon's snapshot \
+             against this baseline; exit 1 when the quality gate trips.")
+  in
+  let run socket file restarts metrics explain baseline =
+    let spec =
+      { Sc_serve.Protocol.design = design_of_path file
+      ; source = read_file file
+      ; style = "verilog"
+      ; restarts
+      }
+    in
+    match baseline with
+    | None -> client_compile_rpc socket spec metrics explain
+    | Some bpath -> (
+      match Sc_obs.Json.parse (read_file bpath) with
+      | Error e ->
+        Printf.eprintf "error: %s: %s\n" bpath e;
+        2
+      | Ok base ->
+        client_call socket
+          (Sc_serve.Protocol.Diff { spec; baseline = base })
+          (function
+            | Sc_serve.Protocol.Diffed { report; regressed } ->
+              print_string report;
+              if regressed then begin
+                Printf.eprintf "quality gate: REGRESSED against %s\n" bpath;
+                1
+              end
+              else 0
+            | _ -> unexpected ()))
+  in
+  Cmd.v
+    (Cmd.info "verilog"
+       ~doc:
+         "Compile a Verilog file through the daemon (same shared \
+          pipeline and dedup as the ISP verbs); optionally diff the \
+          snapshot against a baseline.")
+    Term.(
+      const run $ socket_arg $ vfile_arg $ restarts_arg $ metrics_arg
+      $ explain_arg $ baseline_arg)
 
 let client_report_cmd =
   let run socket design style restarts =
@@ -954,8 +1067,9 @@ let client_cmd =
        ~doc:
          "Talk to a running compile daemon ($(b,scc serve)) over its \
           Unix-domain socket.")
-    [ client_compile_cmd; client_report_cmd; client_diff_cmd
-    ; client_equiv_cmd; client_stats_cmd; client_shutdown_cmd
+    [ client_compile_cmd; client_verilog_cmd; client_report_cmd
+    ; client_diff_cmd; client_equiv_cmd; client_stats_cmd
+    ; client_shutdown_cmd
     ]
 
 let () =
@@ -964,7 +1078,7 @@ let () =
     (Cmd.eval'
        (Cmd.group
           (Cmd.info "scc" ~version:"1.0" ~doc)
-          [ layout_cmd; behavior_cmd; isp_cmd; drc_cmd; stats_cmd; sim_cmd
-          ; extract_cmd; svg_cmd; equiv_cmd; report_cmd; diff_cmd
-          ; serve_cmd; client_cmd
+          [ layout_cmd; behavior_cmd; isp_cmd; verilog_cmd; drc_cmd
+          ; stats_cmd; sim_cmd; extract_cmd; svg_cmd; equiv_cmd; report_cmd
+          ; diff_cmd; serve_cmd; client_cmd
           ]))

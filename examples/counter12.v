@@ -1,0 +1,30 @@
+// A 12-bit loadable up-counter with enable and terminal count.
+//
+// This is the Verilog-frontend reference design: its QoR snapshot is
+// committed under bench/baselines/counter12.json and diffed by the CI
+// quality gate (see docs/VERILOG.md for the supported subset).
+//
+//   rst   async-reset idiom, realized with synchronous priority
+//   load  synchronous parallel load of d
+//   en    count enable (load wins over en)
+//   tc    terminal count, high at 12'hfff
+
+module counter12 (
+    input  wire        clk,
+    input  wire        rst,
+    input  wire        en,
+    input  wire        load,
+    input  wire [11:0] d,
+    output reg  [11:0] q,
+    output wire        tc
+);
+
+  assign tc = q == 12'hfff;
+
+  always @(posedge clk or posedge rst) begin
+    if (rst) q <= 12'd0;
+    else if (load) q <= d;
+    else if (en) q <= q + 12'd1;
+  end
+
+endmodule

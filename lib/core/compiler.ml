@@ -232,6 +232,12 @@ let elaborate_pass : (string * (string option * int list), Cell.t) P.pass =
       | Ok cell -> Ok cell
       | Error e -> Error (Diag.v ~stage:"elaborate" (Sc_lang.Lang.error_to_string e)))
 
+let parse_verilog_pass : (string, Sc_rtl.Ast.design) P.pass =
+  P.register ~name:"verilog.parse" (fun src ->
+      match Sc_verilog.Elaborate.design_of_source src with
+      | Error e -> Error (Diag.v ~stage:"verilog.parse" e)
+      | Ok design -> Ok design)
+
 (* --- drivers --- *)
 
 let ( let* ) = Result.bind
@@ -250,26 +256,32 @@ let finish_layout layout_staged =
     ; transistors = mv.mtransistors
     }
 
+(* the standard-cell middle shared by both behavioral frontends: the
+   ISP and Verilog parse passes produce the same design IR, so
+   compile → optimize → place → route run identically (and share cache
+   keys through the staged input's digest) *)
+let gates_path ~restarts design =
+  let* raw = P.run ~param:"style=gates" compile_gates_pass design in
+  let* opt = P.run optimize_pass raw in
+  let circuit = (P.value opt).oresult.Sc_synth.Synth.circuit in
+  let* placed =
+    P.run
+      ~param:(Printf.sprintf "style=gates;restarts=%d" restarts)
+      place_pass
+      (P.map
+         (fun o ->
+           let c = o.oresult.Sc_synth.Synth.circuit in
+           (c, c.Sc_netlist.Circuit.cname, restarts))
+         opt)
+  in
+  let* _route = P.run route_pass (P.map (fun p -> p.placement) placed) in
+  Ok (P.map (fun p -> p.playout) placed, circuit)
+
 let compile_behavior ?(style = Random_logic) ?(restarts = 0) src =
   let* design = P.run parse_pass (P.source src) in
   let* layout_staged, circuit =
     match style with
-    | Random_logic ->
-      let* raw = P.run ~param:"style=gates" compile_gates_pass design in
-      let* opt = P.run optimize_pass raw in
-      let circuit = (P.value opt).oresult.Sc_synth.Synth.circuit in
-      let* placed =
-        P.run
-          ~param:(Printf.sprintf "style=gates;restarts=%d" restarts)
-          place_pass
-          (P.map
-             (fun o ->
-               let c = o.oresult.Sc_synth.Synth.circuit in
-               (c, c.Sc_netlist.Circuit.cname, restarts))
-             opt)
-      in
-      let* _route = P.run route_pass (P.map (fun p -> p.placement) placed) in
-      Ok (P.map (fun p -> p.playout) placed, circuit)
+    | Random_logic -> gates_path ~restarts design
     | Pla_control ->
       let* pc = P.run ~param:"style=pla" compile_pla_pass design in
       let circuit = (P.value pc).presult.Sc_synth.Synth.circuit in
@@ -278,6 +290,17 @@ let compile_behavior ?(style = Random_logic) ?(restarts = 0) src =
   in
   let* c = finish_layout layout_staged in
   Ok (c, circuit)
+
+let compile_verilog ?(restarts = 0) src =
+  let* design = P.run parse_verilog_pass (P.source src) in
+  let* layout_staged, circuit = gates_path ~restarts design in
+  let* c = finish_layout layout_staged in
+  Ok (c, circuit)
+
+let verilog_design src =
+  match Sc_verilog.Elaborate.design_of_source src with
+  | Ok d -> Ok d
+  | Error e -> Error (Diag.v ~stage:"verilog.parse" e)
 
 let compile_layout ?entry ?(args = []) src =
   let param =

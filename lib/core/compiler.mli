@@ -12,11 +12,16 @@
     Both are thin drivers over {!Sc_pipeline.Pipeline} pass sequences:
 
     {v
-    behavioral  parse ─ compile ─ optimize ─ place ─ route   (gates)
+    behavioral  parse ────────┐
+    verilog     verilog.parse ┴ compile ─ optimize ─ place ─ route
                 parse ─ compile ─ place                      (pla)
     structural  elaborate
     then, for every path:       ─ drc ─ emit ─ measure
     v}
+
+    The Verilog front door ({!compile_verilog}) elaborates a
+    synthesizable-Verilog module to the same design IR the ISP parser
+    produces, then runs the identical standard-cell pass sequence.
 
     Each pass gets a span, a stage-cache entry and a [Diag] error
     boundary from the manager; enable {!Sc_pipeline.Pipeline.enable_cache}
@@ -58,6 +63,24 @@ val compile_behavior :
   ?restarts:int ->
   string ->
   (compiled * Sc_netlist.Circuit.t, Sc_pipeline.Diag.t) result
+
+(** Verilog path: a synthesizable-Verilog module to a placed
+    standard-cell layout, through the same compile → optimize → place →
+    route → drc → emit → measure sequence as {!compile_behavior} (the
+    frontends differ only in their parse pass, so everything downstream
+    shares the stage cache's behavior).  Parse and elaboration failures
+    come back as stage ["verilog.parse"] diagnostics whose messages
+    carry [line:col:] positions. *)
+val compile_verilog :
+  ?restarts:int ->
+  string ->
+  (compiled * Sc_netlist.Circuit.t, Sc_pipeline.Diag.t) result
+
+(** Elaborate Verilog source to the shared design IR without running
+    the pipeline (for [scc verilog --dump-isp], equivalence drivers and
+    tests).  Same ["verilog.parse"] diagnostics as {!compile_verilog}. *)
+val verilog_design :
+  string -> (Sc_rtl.Ast.design, Sc_pipeline.Diag.t) result
 
 (** Place a gate-level circuit as standard-cell rows (the physical view
     used by the behavioral path and experiments).  [restarts] > 0 runs

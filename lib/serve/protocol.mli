@@ -38,8 +38,9 @@ val read_frame : Unix.file_descr -> (string option, string) result
 (** {2 Requests} *)
 
 (** What to compile: the display name (snapshot [design] field), the
-    full ISP source, the control style (["gates"] or ["pla"]) and the
-    placement restart count. *)
+    full source text, the frontend/control style (["gates"] or ["pla"]
+    for ISP source, ["verilog"] for Verilog source) and the placement
+    restart count. *)
 type compile_spec =
   { design : string
   ; source : string

@@ -56,19 +56,24 @@ let locked st f = Mutex.protect st.lock f
    that make warm executions cheap enough for the lock not to matter. *)
 let do_compile st (spec : P.compile_spec) =
   match spec.style with
-  | "gates" | "pla" ->
+  | "gates" | "pla" | "verilog" ->
     Mutex.protect st.obs_lock (fun () ->
         locked st (fun () -> st.executions <- st.executions + 1);
-        let style =
-          if String.equal spec.style "pla" then Sc_core.Compiler.Pla_control
-          else Sc_core.Compiler.Random_logic
-        in
         Obs.reset ();
         Obs.enable ();
         Pipeline.reset_log ();
         let res =
-          Sc_core.Compiler.compile_behavior ~style ~restarts:spec.restarts
-            spec.source
+          match spec.style with
+          | "verilog" ->
+            Sc_core.Compiler.compile_verilog ~restarts:spec.restarts
+              spec.source
+          | "pla" ->
+            Sc_core.Compiler.compile_behavior ~style:Sc_core.Compiler.Pla_control
+              ~restarts:spec.restarts spec.source
+          | _ ->
+            Sc_core.Compiler.compile_behavior
+              ~style:Sc_core.Compiler.Random_logic ~restarts:spec.restarts
+              spec.source
         in
         let passes =
           List.map
@@ -96,7 +101,8 @@ let do_compile st (spec : P.compile_spec) =
   | other ->
     O_diag
       (Diag.v ~stage:"serve"
-         (Printf.sprintf "unknown style %S (expected \"gates\" or \"pla\")"
+         (Printf.sprintf
+            "unknown style %S (expected \"gates\", \"pla\" or \"verilog\")"
             other))
 
 let compile_key (spec : P.compile_spec) =

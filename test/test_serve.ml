@@ -269,6 +269,42 @@ let test_server_verbs_and_errors () =
   | Ok (P.Error_reply { stage = "protocol"; _ }) -> ()
   | _ -> Alcotest.fail "garbage frame must yield a protocol error"
 
+let verilog_spec =
+  { P.design = "blinker"
+  ; source =
+      "module blinker(input clk, output reg q);\n\
+      \  always @(posedge clk) q <= ~q;\nendmodule\n"
+  ; style = "verilog"
+  ; restarts = 0
+  }
+
+let test_verilog_style () =
+  with_server @@ fun socket ->
+  (* the verilog style compiles through the same daemon... *)
+  (match rpc socket (P.Compile verilog_spec) with
+  | P.Compiled c ->
+    check_bool "flip-flop synthesized" true (c.P.flipflops >= 1);
+    check_bool "layout measured" true (c.P.area > 0)
+  | P.Error_reply { stage; message } ->
+    Alcotest.failf "verilog compile failed: %s: %s" stage message
+  | _ -> Alcotest.fail "expected Compiled");
+  (* ...shares the stage cache on a repeat... *)
+  (match rpc socket (P.Compile verilog_spec) with
+  | P.Compiled c ->
+    check_bool "warm verilog request: all passes hit" true
+      (c.P.passes <> []
+      && List.for_all (fun (_, st) -> st = "hit (memory)") c.P.passes)
+  | _ -> Alcotest.fail "expected Compiled");
+  (* ...and a frontend error comes back as a positioned Diag value *)
+  match
+    rpc socket
+      (P.Compile { verilog_spec with P.source = "module t(input a endmodule" })
+  with
+  | P.Error_reply { stage = "verilog.parse"; message } ->
+    check_bool "error is positioned" true (String.contains message ':')
+  | P.Error_reply { stage; _ } -> Alcotest.failf "wrong stage %S" stage
+  | _ -> Alcotest.fail "expected Error_reply"
+
 let suite =
   [ Alcotest.test_case "request codecs roundtrip" `Quick test_request_roundtrip
   ; Alcotest.test_case "response codecs roundtrip" `Quick
@@ -285,4 +321,5 @@ let suite =
   ; Alcotest.test_case "two-client dedup" `Quick test_two_client_dedup
   ; Alcotest.test_case "verbs and structured errors" `Quick
       test_server_verbs_and_errors
+  ; Alcotest.test_case "verilog style" `Quick test_verilog_style
   ]
