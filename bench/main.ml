@@ -8,7 +8,7 @@
 
    Run everything:        dune exec bench/main.exe
    Run one experiment:    dune exec bench/main.exe -- e3
-   Options:               e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e13 e14
+   Options:               e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e13 e14 e15
                           profile ablate micro all
    (e10 and profile are synonyms: the stage-cost profile of the full
    behavioral path, regenerating the EXPERIMENTS.md E10 table.) *)
@@ -540,8 +540,10 @@ let e9 () =
       (fun (p, v) -> Printf.printf " %s=%d" p v)
       (List.hd cex.Checker.frames);
     Printf.printf "\n  replay through the event-driven simulator: %s\n"
-      (if Checker.replay synth_dp mutated cex then "CONFIRMED"
-       else "NOT REPRODUCED"));
+      (match Checker.replay synth_dp mutated cex with
+      | Checker.Reproduced -> "CONFIRMED"
+      | Checker.Not_reproduced -> "NOT REPRODUCED"
+      | Checker.Indeterminate -> "INDETERMINATE (X state)"));
   Printf.printf
     "\npaper: 'verification by simulation' is the closing concern — the \
      BDD engine upgrades it to proof wherever the netlist is in reach\n"
@@ -1178,7 +1180,9 @@ let e14 () =
     | _ -> fail "unexpected stats response"
   in
   let spec name restarts =
-    { P.design = name; source = src_of name; style = "gates"; restarts }
+    { P.design = name; source = src_of name; style = "gates"; restarts
+    ; certify = false
+    }
   in
   (* --- in-flight dedup: concurrent identical cold requests share one
      execution (pdp8 is ~hundreds of ms cold, a comfortable window) --- *)
@@ -1324,6 +1328,131 @@ let e14 () =
   Printf.printf "machine-readable results written to BENCH_e14.json\n"
 
 (* ------------------------------------------------------------------ *)
+(* E15: the certified pipeline — what translation validation costs     *)
+(* ------------------------------------------------------------------ *)
+
+let e15 () =
+  section "E15: certified compilation (per-pass translation validation)"
+    "with --certify every netlist-to-netlist pass proves its output \
+     equivalent to its input before the pipeline continues: an injected \
+     miscompile is refused naming the pass, certificates are cached \
+     with the stage artifacts, and the proof overhead is a bounded \
+     fraction of the cold compile";
+  let module P = Sc_pipeline.Pipeline in
+  let wall f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, (Unix.gettimeofday () -. t0) *. 1000.)
+  in
+  let fail msg =
+    Printf.printf "\nFAIL: %s\n" msg;
+    exit 1
+  in
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "scc-e15-cache" in
+  rm_rf dir;
+  let compile ?inject_fault () =
+    P.reset_log ();
+    match
+      Sc_core.Compiler.compile_behavior ?inject_fault Sc_core.Designs.pdp8_src
+    with
+    | Ok _ -> (P.log (), None)
+    | Error d -> (P.log (), Some d)
+  in
+  (* plain cold compile first, as the overhead baseline (its own cache
+     so the certified run below is also genuinely cold) *)
+  let (_, err_plain), plain_ms = wall (fun () -> compile ()) in
+  (match err_plain with
+  | None -> ()
+  | Some d -> fail ("plain compile failed: " ^ Sc_pipeline.Diag.to_string d));
+  P.enable_cache ~dir ();
+  P.enable_certify ();
+  Fun.protect
+    ~finally:(fun () ->
+      P.disable_certify ();
+      P.disable_cache ();
+      P.clear_caches ())
+  @@ fun () ->
+  let (log_cold, err_cold), cold_ms = wall (fun () -> compile ()) in
+  (match err_cold with
+  | None -> ()
+  | Some d ->
+    fail ("certified compile refused: " ^ Sc_pipeline.Diag.to_string d));
+  let (log_warm, err_warm), warm_ms = wall (fun () -> compile ()) in
+  (match err_warm with
+  | None -> ()
+  | Some d ->
+    fail ("warm certified compile refused: " ^ Sc_pipeline.Diag.to_string d));
+  let ran lg =
+    List.filter_map
+      (fun (n, st) -> if st = P.Ran || st = P.Failed then Some n else None)
+      lg
+  in
+  if ran log_warm <> [] then
+    fail
+      ("warm certified rebuild re-ran: " ^ String.concat ", " (ran log_warm));
+  Printf.printf "%-28s %10s\n" "compile (pdp8, gates)" "wall";
+  Printf.printf "%-28s %8.1f ms\n" "plain cold" plain_ms;
+  Printf.printf "%-28s %8.1f ms  (%.2fx plain)\n" "certified cold" cold_ms
+    (cold_ms /. Float.max plain_ms 0.001);
+  Printf.printf "%-28s %8.1f ms  (all %d passes hit, certificates included)\n"
+    "certified warm" warm_ms (List.length log_warm);
+  (* the checker is live: an injected miscompile must be refused naming
+     the pass, and must sail through when certification is off *)
+  let (_, err_inject), _ = wall (fun () -> compile ~inject_fault:1 ()) in
+  (match err_inject with
+  | Some d when d.Sc_pipeline.Diag.stage = "optimize" ->
+    Printf.printf "\ninjected fault (gate 1 flipped): refused — %s\n"
+      (Sc_pipeline.Diag.to_string d)
+  | Some d ->
+    fail
+      ("injected fault refused by the wrong pass: "
+      ^ Sc_pipeline.Diag.to_string d)
+  | None -> fail "injected miscompile was certified");
+  P.disable_certify ();
+  let (_, err_uncert), _ = wall (fun () -> compile ~inject_fault:1 ()) in
+  P.enable_certify ();
+  (match err_uncert with
+  | None ->
+    Printf.printf
+      "same fault without --certify: compiles silently — the gap \
+       certification closes\n"
+  | Some d ->
+    fail ("uncertified injected compile failed: " ^ Sc_pipeline.Diag.to_string d));
+  let round3 t = Sc_obs.Json.Num (Float.round (t *. 1000.) /. 1000.) in
+  let json =
+    Sc_obs.Json.Obj
+      [ ("schema", Sc_obs.Json.Str "scc-bench")
+      ; ("experiment", Sc_obs.Json.Str "e15")
+      ; ( "ms"
+        , Sc_obs.Json.Obj
+            [ ("plain_cold", round3 plain_ms)
+            ; ("certified_cold", round3 cold_ms)
+            ; ("certified_warm", round3 warm_ms)
+            ] )
+      ; ( "certify_overhead_x"
+        , round3 (cold_ms /. Float.max plain_ms 0.001) )
+      ; ("injected_fault_refused", Sc_obs.Json.Bool true)
+      ; ( "cold"
+        , Sc_obs.Json.Obj
+            (List.map
+               (fun (n, st) -> (n, Sc_obs.Json.Str (P.status_to_string st)))
+               log_cold) )
+      ; ( "warm"
+        , Sc_obs.Json.Obj
+            (List.map
+               (fun (n, st) -> (n, Sc_obs.Json.Str (P.status_to_string st)))
+               log_warm) )
+      ]
+  in
+  let oc = open_out "BENCH_e15.json" in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Sc_obs.Json.to_string json);
+      output_char oc '\n');
+  Printf.printf "machine-readable results written to BENCH_e15.json\n"
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
@@ -1341,6 +1470,7 @@ let () =
     | "e11" -> e11 ()
     | "e13" -> e13 ()
     | "e14" -> e14 ()
+    | "e15" -> e15 ()
     | "ablate" -> ablate ()
     | "micro" -> micro ()
     | other -> Printf.eprintf "unknown experiment %S\n" other
@@ -1349,6 +1479,6 @@ let () =
   | "all" ->
     List.iter run
       [ "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e7"; "e8"; "e9"; "e10"; "e11"
-      ; "e13"; "e14"; "ablate"; "micro"
+      ; "e13"; "e14"; "e15"; "ablate"; "micro"
       ]
   | w -> run w

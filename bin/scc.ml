@@ -135,14 +135,40 @@ let restarts_arg =
           "Extra random-start placements refined concurrently (best \
            HPWL wins; 0 = constructive placement only).")
 
+let certify_arg =
+  Arg.(
+    value & flag
+    & info [ "certify" ]
+        ~doc:
+          "Translation-validate the compilation: every \
+           netlist-to-netlist pass (the optimizer, the PLA minimizer) \
+           must prove its output equivalent to its own input with the \
+           BDD engine before the pipeline continues.  A refused pass \
+           exits 1 naming the pass; proofs are recorded in the metrics \
+           snapshot (equiv.certified_passes) and cached in the stage \
+           cache, so certified warm rebuilds stay all-hit.")
+
+let inject_fault_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "inject-fault" ] ~docv:"I"
+        ~doc:
+          "Deliberately miscompile: flip the first mutable gate at or \
+           after index $(docv) of the optimized netlist before it \
+           leaves the optimize pass (fault-injection demo — with \
+           $(b,--certify) the pipeline must refuse it).")
+
 (* stage-cache plumbing shared by the compile commands: enable the
-   pipeline store (when asked), run, then print the per-pass outcomes
-   (--explain) and cache stats to stderr *)
-let with_pipeline ~stage_cache ~cache_dir ~explain k =
+   pipeline store (when asked) and certification (when asked), run,
+   then print the per-pass outcomes (--explain) and cache stats to
+   stderr *)
+let with_pipeline ~stage_cache ~cache_dir ~explain ?(certify = false) k =
   let dir = match stage_cache with Some _ -> stage_cache | None -> cache_dir in
   (match dir with
   | Some dir -> Sc_pipeline.Pipeline.enable_cache ~dir ()
   | None -> ());
+  if certify then Sc_pipeline.Pipeline.enable_certify ();
   Sc_pipeline.Pipeline.reset_log ();
   let r = k () in
   if explain then
@@ -270,9 +296,9 @@ let verify_cell_library () =
 
 let layout_cmd =
   let run file entry args output verify stats trace metrics jobs stage_cache
-      cache_dir explain =
+      cache_dir explain certify =
     with_jobs jobs @@ fun () ->
-    with_pipeline ~stage_cache ~cache_dir ~explain @@ fun () ->
+    with_pipeline ~stage_cache ~cache_dir ~explain ~certify @@ fun () ->
     instrumented ~stats ~trace ~metrics ~design:(design_of_path file)
       ~table:Format.err_formatter (fun () ->
         match Sc_core.Compiler.compile_layout ?entry ~args (read_file file) with
@@ -287,7 +313,7 @@ let layout_cmd =
     Term.(
       const run $ file_arg $ entry_arg $ args_arg $ output_arg $ verify_arg
       $ stats_arg $ trace_arg $ metrics_arg $ jobs_arg $ stage_cache_arg
-      $ cache_dir_arg $ explain_arg)
+      $ cache_dir_arg $ explain_arg $ certify_arg)
 
 (* --- behavior --- *)
 
@@ -299,8 +325,8 @@ let style_arg =
     & info [ "s"; "style" ] ~docv:"STYLE"
         ~doc:"Control style: $(b,gates) (random logic) or $(b,pla).")
 
-let behavior_run ?restarts src style output verify =
-  match Sc_core.Compiler.compile_behavior ~style ?restarts src with
+let behavior_run ?restarts ?inject_fault src style output verify =
+  match Sc_core.Compiler.compile_behavior ~style ?restarts ?inject_fault src with
   | Error d -> report_diag d
   | Ok (c, circuit) ->
     let s = Sc_netlist.Circuit.stats circuit in
@@ -332,19 +358,20 @@ let behavior_run ?restarts src style output verify =
 
 let behavior_cmd =
   let run file style output verify stats trace metrics jobs stage_cache
-      cache_dir explain restarts =
+      cache_dir explain restarts certify inject_fault =
     with_jobs jobs @@ fun () ->
-    with_pipeline ~stage_cache ~cache_dir ~explain @@ fun () ->
+    with_pipeline ~stage_cache ~cache_dir ~explain ~certify @@ fun () ->
     instrumented ~stats ~trace ~metrics ~design:(design_of_path file)
       ~table:Format.err_formatter (fun () ->
-        behavior_run ~restarts (read_file file) style output verify)
+        behavior_run ~restarts ?inject_fault (read_file file) style output
+          verify)
   in
   Cmd.v
     (Cmd.info "behavior" ~doc:"Compile an ISP behavioral description to CIF.")
     Term.(
       const run $ file_arg $ style_arg $ output_arg $ verify_arg $ stats_arg
       $ trace_arg $ metrics_arg $ jobs_arg $ stage_cache_arg $ cache_dir_arg
-      $ explain_arg $ restarts_arg)
+      $ explain_arg $ restarts_arg $ certify_arg $ inject_fault_arg)
 
 (* --- isp: builtin designs (or files) through the full behavioral path,
    built for profiling: the stage table goes to stdout, CIF is written
@@ -362,7 +389,7 @@ let isp_cmd =
              file path.")
   in
   let run design style output stats trace metrics jobs stage_cache cache_dir
-      explain restarts =
+      explain restarts certify inject_fault =
     let src =
       match Sc_core.Designs.builtin design with
       | Some _ as s -> s
@@ -376,10 +403,13 @@ let isp_cmd =
       2
     | Some src ->
       with_jobs jobs @@ fun () ->
-      with_pipeline ~stage_cache ~cache_dir ~explain @@ fun () ->
+      with_pipeline ~stage_cache ~cache_dir ~explain ~certify @@ fun () ->
       instrumented ~stats ~trace ~metrics ~design:(design_of_path design)
         ~table:Format.std_formatter (fun () ->
-          match Sc_core.Compiler.compile_behavior ~style ~restarts src with
+          match
+            Sc_core.Compiler.compile_behavior ~style ~restarts ?inject_fault
+              src
+          with
           | Error d -> report_diag d
           | Ok (c, circuit) ->
             let s = Sc_netlist.Circuit.stats circuit in
@@ -399,7 +429,7 @@ let isp_cmd =
     Term.(
       const run $ design_arg $ style_arg $ output_arg $ stats_arg $ trace_arg
       $ metrics_arg $ jobs_arg $ stage_cache_arg $ cache_dir_arg $ explain_arg
-      $ restarts_arg)
+      $ restarts_arg $ certify_arg $ inject_fault_arg)
 
 (* --- verilog: the second behavioral frontend; elaborates to the same
    design IR as the ISP parser and runs the identical gates pipeline *)
@@ -414,7 +444,7 @@ let verilog_cmd =
              compiling (shows exactly what the shared pipeline will see).")
   in
   let run file output dump_isp stats trace metrics jobs stage_cache cache_dir
-      explain restarts =
+      explain restarts certify inject_fault =
     let src = read_file file in
     if dump_isp then (
       match Sc_core.Compiler.verilog_design src with
@@ -424,10 +454,10 @@ let verilog_cmd =
         0)
     else
       with_jobs jobs @@ fun () ->
-      with_pipeline ~stage_cache ~cache_dir ~explain @@ fun () ->
+      with_pipeline ~stage_cache ~cache_dir ~explain ~certify @@ fun () ->
       instrumented ~stats ~trace ~metrics ~design:(design_of_path file)
         ~table:Format.std_formatter (fun () ->
-          match Sc_core.Compiler.compile_verilog ~restarts src with
+          match Sc_core.Compiler.compile_verilog ~restarts ?inject_fault src with
           | Error d -> report_diag d
           | Ok (c, circuit) ->
             let s = Sc_netlist.Circuit.stats circuit in
@@ -448,7 +478,7 @@ let verilog_cmd =
     Term.(
       const run $ file_arg $ output_arg $ dump_isp_arg $ stats_arg $ trace_arg
       $ metrics_arg $ jobs_arg $ stage_cache_arg $ cache_dir_arg $ explain_arg
-      $ restarts_arg)
+      $ restarts_arg $ certify_arg $ inject_fault_arg)
 
 (* --- drc / stats on CIF files --- *)
 
@@ -672,9 +702,12 @@ let equiv_cmd =
         0
       | (Sc_equiv.Checker.Not_equivalent cex as v), _, b ->
         Format.printf "@[<v>%a@]@." Sc_equiv.Checker.pp_verdict v;
-        let confirmed = Sc_equiv.Checker.replay a b cex in
+        let verdict = Sc_equiv.Checker.replay a b cex in
         Printf.printf "replay through the event-driven simulator: %s\n"
-          (if confirmed then "confirmed" else "not reproduced (X state)");
+          (match verdict with
+          | Sc_equiv.Checker.Reproduced -> "confirmed"
+          | Sc_equiv.Checker.Not_reproduced | Sc_equiv.Checker.Indeterminate ->
+            Sc_equiv.Checker.replay_verdict_to_string verdict);
         1)
   in
   Cmd.v
@@ -800,7 +833,7 @@ let serve_cmd =
 (* client compile specs are sent with the source inlined, so the
    daemon's dedup key is a pure function of the frame: resolve builtin
    names and file paths here, before anything hits the wire *)
-let resolve_spec design style restarts =
+let resolve_spec ?(certify = false) design style restarts =
   let style =
     match style with
     | Sc_core.Compiler.Pla_control -> "pla"
@@ -808,13 +841,14 @@ let resolve_spec design style restarts =
   in
   match Sc_core.Designs.builtin design with
   | Some source ->
-    Ok { Sc_serve.Protocol.design; source; style; restarts }
+    Ok { Sc_serve.Protocol.design; source; style; restarts; certify }
   | None when Sys.file_exists design ->
     Ok
       { Sc_serve.Protocol.design = design_of_path design
       ; source = read_file design
       ; style
       ; restarts
+      ; certify
       }
   | None ->
     Error (design ^ " is neither a builtin design nor a file")
@@ -874,8 +908,8 @@ let client_compile_rpc socket spec metrics explain =
     | _ -> unexpected ())
 
 let client_compile_cmd =
-  let run socket design style restarts metrics explain =
-    match resolve_spec design style restarts with
+  let run socket design style restarts certify metrics explain =
+    match resolve_spec ~certify design style restarts with
     | Error e ->
       Printf.eprintf "error: %s\n" e;
       2
@@ -889,7 +923,7 @@ let client_compile_cmd =
           $(b,scc isp) run.")
     Term.(
       const run $ socket_arg $ client_design_arg $ style_arg $ restarts_arg
-      $ metrics_arg $ explain_arg)
+      $ certify_arg $ metrics_arg $ explain_arg)
 
 let client_verilog_cmd =
   let vfile_arg =
@@ -909,12 +943,13 @@ let client_verilog_cmd =
             "Instead of printing the summary, diff the daemon's snapshot \
              against this baseline; exit 1 when the quality gate trips.")
   in
-  let run socket file restarts metrics explain baseline =
+  let run socket file restarts certify metrics explain baseline =
     let spec =
       { Sc_serve.Protocol.design = design_of_path file
       ; source = read_file file
       ; style = "verilog"
       ; restarts
+      ; certify
       }
     in
     match baseline with
@@ -944,8 +979,8 @@ let client_verilog_cmd =
           pipeline and dedup as the ISP verbs); optionally diff the \
           snapshot against a baseline.")
     Term.(
-      const run $ socket_arg $ vfile_arg $ restarts_arg $ metrics_arg
-      $ explain_arg $ baseline_arg)
+      const run $ socket_arg $ vfile_arg $ restarts_arg $ certify_arg
+      $ metrics_arg $ explain_arg $ baseline_arg)
 
 let client_report_cmd =
   let run socket design style restarts =

@@ -102,17 +102,37 @@ type optimized =
   ; gates_out : int
   }
 
-let optimize_pass : (Sc_netlist.Circuit.t, optimized) P.pass =
+(* Bound for per-pass translation certificates on sequential designs —
+   the same horizon Synth.gates ~selfcheck uses. *)
+let certify_k = 4
+
+let cert_of_circuits reference candidate =
+  match Sc_equiv.Checker.certify ~k:certify_k reference candidate with
+  | Ok c ->
+    P.Certified
+      { P.cert_cones = c.Sc_equiv.Checker.cert_cones
+      ; cert_nodes = c.Sc_equiv.Checker.cert_nodes
+      }
+  | Error cex ->
+    P.Refuted
+      (Format.asprintf "@[<v>%a@]" Sc_equiv.Checker.pp_verdict
+         (Sc_equiv.Checker.Not_equivalent cex))
+
+(* the fault-injection knob rides in the value but is pinned by the
+   run-site ~param, mirroring the restarts discipline on place *)
+let optimize_pass : (Sc_netlist.Circuit.t * int option, optimized) P.pass =
   P.register ~name:"optimize"
     ~replay:(fun _ o ->
       Obs.count "optimize.gates_in" o.gates_in;
       Obs.count "optimize.gates_out" o.gates_out;
       Sc_synth.Synth.replay_gauges o.oresult)
-    (fun raw ->
+    ~certify:(fun (raw, _) o ->
+      cert_of_circuits raw o.oresult.Sc_synth.Synth.circuit)
+    (fun (raw, inject) ->
       let gates_in =
         List.length (Sc_netlist.Circuit.flatten raw).Sc_netlist.Circuit.gates
       in
-      let r = Sc_synth.Synth.optimize_result raw in
+      let r = Sc_synth.Synth.optimize_result ?inject raw in
       Ok
         { oresult = r
         ; gates_in
@@ -202,7 +222,29 @@ type pla_compiled =
   }
 
 let compile_pla_pass : (Sc_rtl.Ast.design, pla_compiled) P.pass =
-  P.register ~name:"compile" (fun design ->
+  P.register ~name:"compile"
+    ~certify:(fun design pc ->
+      (* the minimize sub-step is what needs a certificate: the realized
+         (minimized) cover against the cover enumerated straight from
+         the reference semantics *)
+      let spec = Sc_synth.Synth.fsm_cover design in
+      match
+        Sc_equiv.Checker.check_covers spec pc.pla.Sc_pla.Generator.cover
+      with
+      | None ->
+        P.Certified
+          { P.cert_cones = spec.Sc_logic.Cover.noutputs; cert_nodes = 0 }
+      | Some (input, o) ->
+        P.Refuted
+          (Printf.sprintf
+             "minimized PLA cover differs from the enumerated FSM on output \
+              %d under input %s"
+             o
+             (String.concat ""
+                (List.rev_map
+                   (fun b -> if b then "1" else "0")
+                   (Array.to_list input)))))
+    (fun design ->
       let r, pla = Sc_synth.Synth.pla_fsm design in
       Ok
         { presult = r
@@ -260,9 +302,17 @@ let finish_layout layout_staged =
    ISP and Verilog parse passes produce the same design IR, so
    compile → optimize → place → route run identically (and share cache
    keys through the staged input's digest) *)
-let gates_path ~restarts design =
+let gates_path ~restarts ?inject design =
   let* raw = P.run ~param:"style=gates" compile_gates_pass design in
-  let* opt = P.run optimize_pass raw in
+  let* opt =
+    P.run
+      ~param:
+        (match inject with
+        | None -> ""
+        | Some i -> Printf.sprintf "inject=%d" i)
+      optimize_pass
+      (P.map (fun c -> (c, inject)) raw)
+  in
   let circuit = (P.value opt).oresult.Sc_synth.Synth.circuit in
   let* placed =
     P.run
@@ -277,11 +327,12 @@ let gates_path ~restarts design =
   let* _route = P.run route_pass (P.map (fun p -> p.placement) placed) in
   Ok (P.map (fun p -> p.playout) placed, circuit)
 
-let compile_behavior ?(style = Random_logic) ?(restarts = 0) src =
+let compile_behavior ?(style = Random_logic) ?(restarts = 0) ?inject_fault src
+    =
   let* design = P.run parse_pass (P.source src) in
   let* layout_staged, circuit =
     match style with
-    | Random_logic -> gates_path ~restarts design
+    | Random_logic -> gates_path ~restarts ?inject:inject_fault design
     | Pla_control ->
       let* pc = P.run ~param:"style=pla" compile_pla_pass design in
       let circuit = (P.value pc).presult.Sc_synth.Synth.circuit in
@@ -291,9 +342,11 @@ let compile_behavior ?(style = Random_logic) ?(restarts = 0) src =
   let* c = finish_layout layout_staged in
   Ok (c, circuit)
 
-let compile_verilog ?(restarts = 0) src =
+let compile_verilog ?(restarts = 0) ?inject_fault src =
   let* design = P.run parse_verilog_pass (P.source src) in
-  let* layout_staged, circuit = gates_path ~restarts design in
+  let* layout_staged, circuit =
+    gates_path ~restarts ?inject:inject_fault design
+  in
   let* c = finish_layout layout_staged in
   Ok (c, circuit)
 

@@ -57,10 +57,16 @@ val compile_layout :
     a PLA plus registers).  Also returns the synthesized circuit.
     [restarts] selects multi-start placement (default 0; it is a
     place-pass parameter, so under a stage cache changing it leaves
-    parse/compile/optimize hits). *)
+    parse/compile/optimize hits).  [inject_fault] deliberately
+    miscompiles the optimize pass on the gates path
+    ({!Sc_synth.Synth.optimize_result}'s [inject]) — a live target for
+    {!Sc_pipeline.Pipeline.enable_certify}; like restarts it is pinned
+    by a pass param, so faulty artifacts never share cache keys with
+    honest ones (ignored by [Pla_control]). *)
 val compile_behavior :
   ?style:behavior_style ->
   ?restarts:int ->
+  ?inject_fault:int ->
   string ->
   (compiled * Sc_netlist.Circuit.t, Sc_pipeline.Diag.t) result
 
@@ -70,9 +76,11 @@ val compile_behavior :
     frontends differ only in their parse pass, so everything downstream
     shares the stage cache's behavior).  Parse and elaboration failures
     come back as stage ["verilog.parse"] diagnostics whose messages
-    carry [line:col:] positions. *)
+    carry [line:col:] positions.  [inject_fault] as in
+    {!compile_behavior}. *)
 val compile_verilog :
   ?restarts:int ->
+  ?inject_fault:int ->
   string ->
   (compiled * Sc_netlist.Circuit.t, Sc_pipeline.Diag.t) result
 

@@ -56,17 +56,21 @@ let cex_of_assignment ~seq ~nframes ~(inputs : Circuit.port list) env
         Hashtbl.replace values (base, f) (cur lor (1 lsl bit))
       end)
     assignment;
+  let output, cycle =
+    if seq then Unroll.split_port out_name else (out_name, 0)
+  in
+  (* frames beyond the failing cycle cannot influence the verdict —
+     truncate so replay doesn't drive phantom cycles *)
   let frames =
-    List.init nframes (fun f ->
+    List.init
+      (min nframes (cycle + 1))
+      (fun f ->
         List.map
           (fun (p : Circuit.port) ->
             ( p.port_name
             , Option.value ~default:0
                 (Hashtbl.find_opt values (p.port_name, f)) ))
           inputs)
-  in
-  let output, cycle =
-    if seq then Unroll.split_port out_name else (out_name, 0)
   in
   { frames; output; bit = out_bit; cycle }
 
@@ -96,8 +100,10 @@ let check ?man ?order ?(k = 8) a b =
    order, so every cone lives in the same variable space; the verdict is
    the first differing port in declaration order, independent of how
    many domains ran the cones. *)
-let check_cones ?pool ?order ?(k = 8) a b =
-  Sc_obs.Obs.span "equiv" @@ fun () ->
+(* Shared core of {!check_cones} and {!certify}: the verdict plus the
+   cone count and summed node count.  Obs-quiet — the callers decide
+   what telemetry (if any) to emit. *)
+let cones_core ?pool ?order ?(k = 8) a b =
   let pool = match pool with Some p -> p | None -> Sc_par.Pool.default () in
   let seq = is_sequential a || is_sequential b in
   let a', b' =
@@ -127,23 +133,48 @@ let check_cones ?pool ?order ?(k = 8) a b =
       out_ports
   in
   let results = Sc_par.Pool.run ~label:"equiv.cone" pool tasks in
-  Sc_obs.Obs.count "equiv.cones" (List.length out_ports);
-  Sc_obs.Obs.gauge "bdd.nodes"
-    (List.fold_left (fun acc (_, nc) -> acc + nc) 0 results);
-  match List.find_map fst results with
-  | None -> Equivalent
-  | Some (name, bit, assignment, env) ->
-    let nframes = if seq then k else 1 in
-    let inputs = Circuit.inputs (Circuit.flatten a) in
-    Not_equivalent
-      (cex_of_assignment ~seq ~nframes ~inputs env assignment name bit)
+  let nodes = List.fold_left (fun acc (_, nc) -> acc + nc) 0 results in
+  let verdict =
+    match List.find_map fst results with
+    | None -> Equivalent
+    | Some (name, bit, assignment, env) ->
+      let nframes = if seq then k else 1 in
+      let inputs = Circuit.inputs (Circuit.flatten a) in
+      Not_equivalent
+        (cex_of_assignment ~seq ~nframes ~inputs env assignment name bit)
+  in
+  (verdict, List.length out_ports, nodes)
+
+let check_cones ?pool ?order ?k a b =
+  Sc_obs.Obs.span "equiv" @@ fun () ->
+  let verdict, cones, nodes = cones_core ?pool ?order ?k a b in
+  Sc_obs.Obs.count "equiv.cones" cones;
+  Sc_obs.Obs.gauge "bdd.nodes" nodes;
+  verdict
+
+type certificate =
+  { cert_cones : int
+  ; cert_nodes : int
+  }
+
+let certify ?pool ?order ?k a b =
+  match cones_core ?pool ?order ?k a b with
+  | Equivalent, cones, nodes -> Ok { cert_cones = cones; cert_nodes = nodes }
+  | Not_equivalent cex, _, _ -> Error cex
+
+type replay_verdict = Reproduced | Not_reproduced | Indeterminate
+
+let replay_verdict_to_string = function
+  | Reproduced -> "reproduced"
+  | Not_reproduced -> "not reproduced"
+  | Indeterminate -> "indeterminate (X state)"
 
 let replay a b cex =
   let ea = Sc_sim.Engine.create a and eb = Sc_sim.Engine.create b in
   Sc_sim.Engine.force_registers ea Sc_sim.Value.V0;
   Sc_sim.Engine.force_registers eb Sc_sim.Value.V0;
   let rec go cyc = function
-    | [] -> false
+    | [] -> Not_reproduced
     | frame :: rest ->
       List.iter
         (fun (p, v) ->
@@ -154,8 +185,8 @@ let replay a b cex =
         let va = (Sc_sim.Engine.get_output ea cex.output).(cex.bit) in
         let vb = (Sc_sim.Engine.get_output eb cex.output).(cex.bit) in
         match (Sc_sim.Value.to_bool va, Sc_sim.Value.to_bool vb) with
-        | Some x, Some y -> x <> y
-        | _ -> false
+        | Some x, Some y -> if x <> y then Reproduced else Not_reproduced
+        | _ -> Indeterminate
       else begin
         Sc_sim.Engine.step ea;
         Sc_sim.Engine.step eb;

@@ -61,11 +61,38 @@ val check_cones :
   ?pool:Sc_par.Pool.t -> ?order:Miter.order -> ?k:int -> Circuit.t ->
   Circuit.t -> verdict
 
+(** Proof summary of a successful {!certify}: how many output cones
+    were proved and the summed BDD node count across their managers. *)
+type certificate =
+  { cert_cones : int
+  ; cert_nodes : int
+  }
+
+(** [certify ?pool ?order ?k a b] — the same per-cone parallel proof as
+    {!check_cones}, packaged for the pass manager's [~certify] hooks:
+    [Ok certificate] when equivalent, [Error cex] with the
+    distinguishing stimulus otherwise.  Emits {b no} Obs telemetry —
+    the pass manager replays certificate counters from the cached
+    summary so warm and cold QoR snapshots stay byte-identical. *)
+val certify :
+  ?pool:Sc_par.Pool.t -> ?order:Miter.order -> ?k:int -> Circuit.t ->
+  Circuit.t -> (certificate, counterexample) result
+
+(** Outcome of replaying a counterexample in simulation.
+    [Indeterminate] means the named output bit was X on at least one
+    side at the failing cycle — the witness is neither confirmed nor
+    refuted (the BDD model and the 3-valued simulator disagree about
+    initialization), which is distinct from a definite
+    [Not_reproduced]. *)
+type replay_verdict = Reproduced | Not_reproduced | Indeterminate
+
+val replay_verdict_to_string : replay_verdict -> string
+
 (** [replay a b cex] — drive both circuits with the counterexample
     through {!Sc_sim.Engine} (registers forced to 0 first) and report
     whether the named output bit really differs at the named cycle:
-    [true] confirms the counterexample in simulation. *)
-val replay : Circuit.t -> Circuit.t -> counterexample -> bool
+    {!Reproduced} confirms the counterexample in simulation. *)
+val replay : Circuit.t -> Circuit.t -> counterexample -> replay_verdict
 
 (** [mutate c i] — flip gate [i] (index into the flattened gate list) to
     a different kind of the same arity (AND<->OR, XOR<->XNOR,

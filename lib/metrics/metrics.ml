@@ -23,6 +23,7 @@ let is_runtime_key k =
   has_prefix "stage." k || has_prefix "cache." k || has_prefix "pool." k
   || has_prefix "pipeline." k || has_suffix ".tasks" k
   || has_suffix ".calls" k
+  || has_suffix "_us" k (* wall-clock counters, e.g. equiv.certificate_us *)
 
 (* --- capture --- *)
 
@@ -138,9 +139,14 @@ let read path =
 type direction = Lower_better | Higher_better | Informational
 
 let direction_of_key k =
-  if k = "pool.width" || has_suffix ".calls" k || has_suffix ".tasks" k then
-    Informational
-  else if k = "equiv.cones" || (has_prefix "cache." k && has_suffix "hit" k)
+  if
+    k = "pool.width" || has_suffix ".calls" k || has_suffix ".tasks" k
+    || k = "equiv.certificate.nodes"
+  then Informational
+  else if
+    k = "equiv.cones" || k = "equiv.certified_passes"
+    || k = "equiv.certificate.cones"
+    || (has_prefix "cache." k && has_suffix "hit" k)
   then Higher_better
   else Lower_better
 

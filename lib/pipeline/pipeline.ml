@@ -27,34 +27,70 @@ type config =
   { mutable cdir : string option
   ; mutable ccap : int
   ; mutable cenabled : bool
+  ; mutable ccertify : bool
   }
 
-let config = { cdir = None; ccap = 256; cenabled = false }
+let config = { cdir = None; ccap = 256; cenabled = false; ccertify = false }
+
+(* --- translation certificates --- *)
+
+type cert_summary =
+  { cert_cones : int
+  ; cert_nodes : int
+  }
+
+type cert_result =
+  | Certified of cert_summary
+  | Refuted of string
 
 type ('a, 'b) pass =
   { name : string
   ; version : int
   ; f : 'a -> ('b, Diag.t) result
   ; replay : ('a -> 'b -> unit) option
+  ; certify : ('a -> 'b -> cert_result) option
+  ; plock : Mutex.t
+    (* guards [store] and [cert_store]: daemon threads race the lazy
+       store creation below and would otherwise clobber each other's
+       [Cache.t] (losing stats and doubling memory) *)
   ; mutable store : (string option * 'b Cache.t) option
+  ; mutable cert_store : (string option * cert_summary Cache.t) option
   }
 
 (* existentially-packed view of each pass for stats/clear *)
 type registered =
   { rname : string
   ; rstats : unit -> Cache.stats option
+  ; rcert_stats : unit -> Cache.stats option
   ; rclear : unit -> unit
   }
 
 let registry : registered list ref = ref []
 let reg_lock = Mutex.create ()
 
-let register ?(version = 1) ?replay ~name f =
-  let pass = { name; version; f; replay; store = None } in
+let register ?(version = 1) ?replay ?certify ~name f =
+  let pass =
+    { name; version; f; replay; certify
+    ; plock = Mutex.create ()
+    ; store = None
+    ; cert_store = None
+    }
+  in
   let entry =
     { rname = name
-    ; rstats = (fun () -> Option.map (fun (_, c) -> Cache.stats c) pass.store)
-    ; rclear = (fun () -> pass.store <- None)
+    ; rstats =
+        (fun () ->
+          Mutex.protect pass.plock (fun () ->
+              Option.map (fun (_, c) -> Cache.stats c) pass.store))
+    ; rcert_stats =
+        (fun () ->
+          Mutex.protect pass.plock (fun () ->
+              Option.map (fun (_, c) -> Cache.stats c) pass.cert_store))
+    ; rclear =
+        (fun () ->
+          Mutex.protect pass.plock (fun () ->
+              pass.store <- None;
+              pass.cert_store <- None))
     }
   in
   Mutex.protect reg_lock (fun () -> registry := entry :: !registry);
@@ -68,6 +104,10 @@ let enable_cache ?(capacity = 256) ?dir () =
 let disable_cache () = config.cenabled <- false
 let cache_enabled () = config.cenabled
 
+let enable_certify () = config.ccertify <- true
+let disable_certify () = config.ccertify <- false
+let certify_enabled () = config.ccertify
+
 let clear_caches () =
   Mutex.protect reg_lock (fun () -> List.iter (fun r -> r.rclear ()) !registry)
 
@@ -75,6 +115,11 @@ let cache_stats () =
   Mutex.protect reg_lock (fun () ->
       List.fold_left
         (fun acc r ->
+          let acc =
+            match r.rcert_stats () with
+            | Some s -> (r.rname ^ ".cert", s) :: acc
+            | None -> acc
+          in
           match r.rstats () with
           | Some s -> (r.rname, s) :: acc
           | None -> acc)
@@ -83,14 +128,30 @@ let cache_stats () =
 let store_for pass =
   if not config.cenabled then None
   else
-    match pass.store with
-    | Some (dir, c) when dir = config.cdir -> Some c
-    | _ ->
-      let c =
-        Cache.create ~capacity:config.ccap ?dir:config.cdir ~name:pass.name ()
-      in
-      pass.store <- Some (config.cdir, c);
-      Some c
+    Mutex.protect pass.plock (fun () ->
+        match pass.store with
+        | Some (dir, c) when dir = config.cdir -> Some c
+        | _ ->
+          let c =
+            Cache.create ~capacity:config.ccap ?dir:config.cdir ~name:pass.name
+              ()
+          in
+          pass.store <- Some (config.cdir, c);
+          Some c)
+
+let cert_store_for pass =
+  if not config.cenabled then None
+  else
+    Mutex.protect pass.plock (fun () ->
+        match pass.cert_store with
+        | Some (dir, c) when dir = config.cdir -> Some c
+        | _ ->
+          let c =
+            Cache.create ~capacity:config.ccap ?dir:config.cdir
+              ~name:(pass.name ^ ".cert") ()
+          in
+          pass.cert_store <- Some (config.cdir, c);
+          Some c)
 
 (* --- run log --- *)
 
@@ -108,14 +169,41 @@ let status_key = function
   | Disk_hit -> "disk_hit"
   | Failed -> "failed"
 
-let journal : (string * status) list ref = ref [] (* reverse order *)
+(* One journal per (domain, thread): concurrent compiles — the serve
+   daemon runs one per connection thread — each see only their own
+   pass outcomes through [log]/[pp_explain].  Entries are kept in
+   reverse order. *)
+let journals : (int * int, (string * status) list ref) Hashtbl.t =
+  Hashtbl.create 8
+
 let jlock = Mutex.create ()
 
-let reset_log () = Mutex.protect jlock (fun () -> journal := [])
-let log () = Mutex.protect jlock (fun () -> List.rev !journal)
+let jkey () = ((Domain.self () :> int), Thread.id (Thread.self ()))
+
+let reset_log () =
+  Mutex.protect jlock (fun () -> Hashtbl.replace journals (jkey ()) (ref []))
+
+let drop_log () =
+  Mutex.protect jlock (fun () -> Hashtbl.remove journals (jkey ()))
+
+let log () =
+  Mutex.protect jlock (fun () ->
+      match Hashtbl.find_opt journals (jkey ()) with
+      | Some entries -> List.rev !entries
+      | None -> [])
 
 let note_status name st =
-  Mutex.protect jlock (fun () -> journal := (name, st) :: !journal);
+  Mutex.protect jlock (fun () ->
+      let k = jkey () in
+      let entries =
+        match Hashtbl.find_opt journals k with
+        | Some r -> r
+        | None ->
+          let r = ref [] in
+          Hashtbl.replace journals k r;
+          r
+      in
+      entries := (name, st) :: !entries);
   Obs.count ("pipeline." ^ name ^ "." ^ status_key st) 1
 
 let pp_explain ppf () =
@@ -125,6 +213,16 @@ let pp_explain ppf () =
     (log ())
 
 (* --- the manager --- *)
+
+(* Certificate telemetry is emitted here — from the summary, on the
+   fresh-check and cert-hit paths alike — never by the hooks, so warm
+   QoR snapshots stay byte-identical to cold ones. *)
+let emit_certificate name s us =
+  Obs.count "equiv.certified_passes" 1;
+  Obs.count "equiv.certificate.cones" s.cert_cones;
+  Obs.count "equiv.certificate.nodes" s.cert_nodes;
+  Obs.count "equiv.certificate_us" us;
+  Obs.count ("pipeline." ^ name ^ ".certified") 1
 
 let run ?(param = "") pass input =
   let out_key =
@@ -144,6 +242,42 @@ let run ?(param = "") pass input =
       Obs.span pass.name (fun () ->
           match pass.replay with None -> () | Some g -> g input.value v)
   in
+  let certification v =
+    match pass.certify with
+    | Some check when config.ccertify ->
+      let t0 = Unix.gettimeofday () in
+      let finish s =
+        let us = int_of_float ((Unix.gettimeofday () -. t0) *. 1e6) in
+        emit_certificate pass.name s us;
+        Ok ()
+      in
+      let fresh () =
+        match Obs.span "certify" (fun () -> check input.value v) with
+        | Certified s -> Ok s
+        | Refuted msg ->
+          Error
+            (Diag.v ~stage:pass.name ("translation certificate refused: " ^ msg))
+        | exception Diag.Error d -> Error d
+        | exception e -> Error (Diag.of_exn ~stage:pass.name e)
+      in
+      let refused d =
+        Obs.count ("pipeline." ^ pass.name ^ ".cert_failed") 1;
+        Error d
+      in
+      (match cert_store_for pass with
+       | None -> (
+         match fresh () with Ok s -> finish s | Error d -> refused d)
+       | Some cstore -> (
+         match Cache.lookup cstore out_key with
+         | `Memory s | `Disk s -> finish s
+         | `Absent -> (
+           match fresh () with
+           | Ok s ->
+             Cache.add cstore out_key s;
+             finish s
+           | Error d -> refused d)))
+    | _ -> Ok ()
+  in
   let ok st v =
     note_status pass.name st;
     Ok { value = v; key = out_key }
@@ -154,18 +288,30 @@ let run ?(param = "") pass input =
   in
   match store_for pass with
   | None -> (
-    match exec () with Ok v -> ok Ran v | Error d -> failed d)
+    match exec () with
+    | Ok v -> (
+      match certification v with Ok () -> ok Ran v | Error d -> failed d)
+    | Error d -> failed d)
   | Some cache -> (
     match Cache.lookup cache out_key with
-    | `Memory v ->
-      replay v;
-      ok Hit v
-    | `Disk v ->
-      replay v;
-      ok Disk_hit v
+    | `Memory v -> (
+      match certification v with
+      | Ok () ->
+        replay v;
+        ok Hit v
+      | Error d -> failed d)
+    | `Disk v -> (
+      match certification v with
+      | Ok () ->
+        replay v;
+        ok Disk_hit v
+      | Error d -> failed d)
     | `Absent -> (
       match exec () with
-      | Ok v ->
-        Cache.add cache out_key v;
-        ok Ran v
+      | Ok v -> (
+        match certification v with
+        | Ok () ->
+          Cache.add cache out_key v;
+          ok Ran v
+        | Error d -> failed d)
       | Error d -> failed d))

@@ -18,7 +18,8 @@
       stage-level hits and an edited parameter (say [--restarts])
       invalidates only the passes downstream of it;
     - a ["pipeline.<name>.<status>"] counter and a run-log entry for
-      [--explain].
+      [--explain];
+    - optionally, a {e translation certificate} (see below).
 
     {2 Key discipline}
 
@@ -39,7 +40,28 @@
     pass may register a [replay] hook that re-emits the counters
     derivable from (input, artifact).  Replay runs inside the pass's
     span, only when {!Sc_obs.Obs.enabled}, which keeps warm QoR
-    snapshots byte-identical to cold ones. *)
+    snapshots byte-identical to cold ones.
+
+    {2 Translation certificates}
+
+    A pass whose output claims to mean the same thing as its input (an
+    optimizer, a cover minimizer) may register a [certify] hook: given
+    (input, artifact) it either returns a {!cert_summary} proof summary
+    or refutes the translation with a witness message.  When
+    {!enable_certify} is on, {!run} checks the hook {e before}
+    accepting an artifact — fresh executions are certified before the
+    artifact enters the cache (a refused artifact is never cached), and
+    cache hits are certified from a parallel per-pass certificate store
+    keyed on the same output key, so warm rebuilds stay all-hit without
+    re-proving anything.  A refusal surfaces as a [Diag] whose stage
+    names the offending pass, with the run-log entry [Failed].
+
+    Hooks must be Obs-quiet: the manager itself emits
+    [equiv.certified_passes], [equiv.certificate.cones],
+    [equiv.certificate.nodes] (QoR, replayed identically from the
+    cached summary on warm runs), [equiv.certificate_us] (runtime) and
+    ["pipeline.<name>.certified"] / ["pipeline.<name>.cert_failed"]
+    counters from the summary on every path. *)
 
 type 'a staged = private
   { value : 'a
@@ -64,6 +86,21 @@ val map : ('a -> 'b) -> 'a staged -> 'b staged
 (** A pure view of a staged value: the key is unchanged, so [f] must
     not add information that isn't already pinned by the key. *)
 
+(** {2 Translation certificates} *)
+
+type cert_summary =
+  { cert_cones : int  (** independently proven output cones *)
+  ; cert_nodes : int  (** peak BDD nodes across the proof (0 if n/a) *)
+  }
+(** What remains of a successful equivalence proof: enough to replay
+    the certificate counters on a warm run.  [Marshal]-safe. *)
+
+type cert_result =
+  | Certified of cert_summary
+  | Refuted of string
+      (** the translation is wrong; the string is a human-readable
+          witness (e.g. a rendered counterexample) *)
+
 (** {2 Passes} *)
 
 type ('a, 'b) pass
@@ -71,6 +108,7 @@ type ('a, 'b) pass
 val register :
   ?version:int ->
   ?replay:('a -> 'b -> unit) ->
+  ?certify:('a -> 'b -> cert_result) ->
   name:string ->
   ('a -> ('b, Diag.t) result) ->
   ('a, 'b) pass
@@ -78,15 +116,19 @@ val register :
     [version] (default 1) whenever [f]'s semantics change: it is part
     of the cache key, so stale on-disk artifacts are never replayed.
     [replay] re-emits the pass's QoR counters from (input, artifact)
-    on a cache hit; see the module preamble.  The artifact type must
-    be [Marshal]-safe (no closures) for the disk layer. *)
+    on a cache hit; see the module preamble.  [certify] proves the
+    artifact equivalent to the input when certification is enabled
+    (must be Obs-quiet; a raised {!Diag.Error} counts as a refusal).
+    The artifact type must be [Marshal]-safe (no closures) for the
+    disk layer. *)
 
 val run :
   ?param:string -> ('a, 'b) pass -> 'a staged -> ('b staged, Diag.t) result
 (** Run a pass on a staged input: derive the output key, consult the
     pass's cache (when enabled), execute inside an Obs span on a miss,
-    record the outcome in the run log.  Errors are returned as values
-    and never enter the cache. *)
+    certify the artifact (when enabled and the pass has a hook),
+    record the outcome in the run log.  Errors — including certificate
+    refusals — are returned as values and never enter the cache. *)
 
 (** {2 Cache control} *)
 
@@ -102,12 +144,21 @@ val disable_cache : unit -> unit
 
 val cache_enabled : unit -> bool
 
+val enable_certify : unit -> unit
+(** Check every registered [certify] hook from here on
+    (process-global, like {!enable_cache}).  Certificates are cached
+    in per-pass ["<name>.cert"] stores when the stage cache is on. *)
+
+val disable_certify : unit -> unit
+val certify_enabled : unit -> bool
+
 val clear_caches : unit -> unit
 (** Drop every pass's in-memory store and its counters (disk entries
     are left alone) — "process restart" for tests and benches. *)
 
 val cache_stats : unit -> (string * Sc_cache.Cache.stats) list
-(** Stats per pass that has a live store, in registration order. *)
+(** Stats per pass that has a live store, in registration order;
+    certificate stores appear as ["<pass>.cert"]. *)
 
 (** {2 Run log — [--explain]} *)
 
@@ -122,7 +173,14 @@ val status_to_string : status -> string
 val reset_log : unit -> unit
 
 val log : unit -> (string * status) list
-(** Pass outcomes since {!reset_log}, in execution order. *)
+(** Pass outcomes since {!reset_log}, in execution order.  The log is
+    scoped to the calling (domain, thread), so concurrent compiles —
+    one per daemon connection thread — never see each other's
+    entries. *)
+
+val drop_log : unit -> unit
+(** Forget the calling thread's journal entirely (a terminating daemon
+    thread calls this so dead threads don't accumulate journals). *)
 
 val pp_explain : Format.formatter -> unit -> unit
 (** One ["explain: <pass> <status>"] line per log entry. *)

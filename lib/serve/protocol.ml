@@ -64,6 +64,7 @@ type compile_spec =
   ; source : string
   ; style : string
   ; restarts : int
+  ; certify : bool
   }
 
 type request =
@@ -103,6 +104,7 @@ let spec_fields s =
   ; ("source", Json.Str s.source)
   ; ("style", Json.Str s.style)
   ; ("restarts", num s.restarts)
+  ; ("certify", Json.Bool s.certify)
   ]
 
 let json_of_request = function
@@ -186,7 +188,14 @@ let spec_of_json j =
   let* source = str_field "source" j in
   let* style = str_field "style" j in
   let* restarts = int_field "restarts" j in
-  Ok { design; source; style; restarts }
+  (* absent on pre-certify clients: default false, stay compatible *)
+  let* certify =
+    match Json.member "certify" j with
+    | None -> Ok false
+    | Some (Json.Bool b) -> Ok b
+    | Some _ -> Error "non-boolean field \"certify\""
+  in
+  Ok { design; source; style; restarts; certify }
 
 let request_of_json j =
   let* tag = str_field "t" j in

@@ -39,13 +39,17 @@ val read_frame : Unix.file_descr -> (string option, string) result
 
 (** What to compile: the display name (snapshot [design] field), the
     full source text, the frontend/control style (["gates"] or ["pla"]
-    for ISP source, ["verilog"] for Verilog source) and the placement
-    restart count. *)
+    for ISP source, ["verilog"] for Verilog source), the placement
+    restart count, and whether every netlist-to-netlist pass must emit
+    a translation certificate
+    ({!Sc_pipeline.Pipeline.enable_certify}).  [certify] may be absent
+    on the wire (pre-certify clients): it decodes as [false]. *)
 type compile_spec =
   { design : string
   ; source : string
   ; style : string
   ; restarts : int
+  ; certify : bool
   }
 
 type request =

@@ -62,18 +62,26 @@ let do_compile st (spec : P.compile_spec) =
         Obs.reset ();
         Obs.enable ();
         Pipeline.reset_log ();
+        (* certification is process-global like the recorder; flipping
+           it per request is safe because executions serialize here *)
+        if spec.certify then Pipeline.enable_certify ();
         let res =
-          match spec.style with
-          | "verilog" ->
-            Sc_core.Compiler.compile_verilog ~restarts:spec.restarts
-              spec.source
-          | "pla" ->
-            Sc_core.Compiler.compile_behavior ~style:Sc_core.Compiler.Pla_control
-              ~restarts:spec.restarts spec.source
-          | _ ->
-            Sc_core.Compiler.compile_behavior
-              ~style:Sc_core.Compiler.Random_logic ~restarts:spec.restarts
-              spec.source
+          Fun.protect
+            ~finally:(fun () ->
+              if spec.certify then Pipeline.disable_certify ())
+            (fun () ->
+              match spec.style with
+              | "verilog" ->
+                Sc_core.Compiler.compile_verilog ~restarts:spec.restarts
+                  spec.source
+              | "pla" ->
+                Sc_core.Compiler.compile_behavior
+                  ~style:Sc_core.Compiler.Pla_control ~restarts:spec.restarts
+                  spec.source
+              | _ ->
+                Sc_core.Compiler.compile_behavior
+                  ~style:Sc_core.Compiler.Random_logic ~restarts:spec.restarts
+                  spec.source)
         in
         let passes =
           List.map
@@ -107,7 +115,9 @@ let do_compile st (spec : P.compile_spec) =
 
 let compile_key (spec : P.compile_spec) =
   Sc_cache.Cache.digest
-    (spec.style ^ "|" ^ string_of_int spec.restarts ^ "\x00" ^ spec.source)
+    (spec.style ^ "|" ^ string_of_int spec.restarts ^ "|"
+    ^ (if spec.certify then "certify" else "")
+    ^ "\x00" ^ spec.source)
 
 (* run [compute] once per in-flight key: the first requester executes,
    concurrent identical requests wait and share the outcome *)
@@ -326,6 +336,8 @@ let serve_connection st fd =
     ~finally:(fun () ->
       locked st (fun () ->
           st.conns <- List.filter (fun c -> c != fd) st.conns);
+      (* journals are per-thread now; don't let dead threads pile up *)
+      Pipeline.drop_log ();
       try Unix.close fd with _ -> ())
     loop
 

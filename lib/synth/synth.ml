@@ -217,7 +217,29 @@ let result_of circuit =
   replay_gauges r;
   r
 
-let optimize_result circuit = result_of (Optimize.simplify circuit)
+let optimize_result ?inject circuit =
+  let simplified = Optimize.simplify circuit in
+  let simplified =
+    match inject with
+    | None -> simplified
+    | Some i ->
+      (* fault-injection demo: flip the first mutable gate at or after
+         index [i] (wrapping past sequential/constant gates), producing
+         a live miscompile for --certify to refuse *)
+      let n = List.length (Circuit.flatten simplified).Circuit.gates in
+      if n = 0 then invalid_arg "optimize_result: no gates to mutate";
+      let rec try_at seen j =
+        if seen >= n then
+          invalid_arg
+            "optimize_result: no mutable gate (all sequential or constant)"
+        else
+          match Sc_equiv.Checker.mutate simplified (j mod n) with
+          | c -> c
+          | exception Invalid_argument _ -> try_at (seen + 1) (j + 1)
+      in
+      try_at 0 (((i mod n) + n) mod n)
+  in
+  result_of simplified
 
 let gates ?(optimize = true) ?(selfcheck = false) design =
   let raw = translate design in
@@ -241,7 +263,10 @@ let gates ?(optimize = true) ?(selfcheck = false) design =
 
 let max_bits = 12
 
-let pla_fsm ?(minimize = true) design =
+(* The raw, unminimized next-state/output cover of a design, enumerated
+   through the reference semantics ([Sc_rtl.Interp]).  This is the
+   specification the minimized PLA is certified against. *)
+let fsm_cover design =
   check_design ~stage:"compile" design;
   let in_bits =
     List.fold_left (fun a (d : Ast.decl) -> a + d.width) 0 design.Ast.inputs
@@ -256,8 +281,6 @@ let pla_fsm ?(minimize = true) design =
   if total_in > max_bits then
     Sc_pipeline.Diag.failf ~stage:"compile"
       "pla_fsm: %d state+input bits exceed %d" total_in max_bits;
-  let pla =
-    Sc_obs.Obs.span "compile" @@ fun () ->
   let interp = Sc_rtl.Interp.create design in
   let f bits =
     (* bit order: inputs in declaration order (lsb first), then registers *)
@@ -293,11 +316,22 @@ let pla_fsm ?(minimize = true) design =
       design.Ast.outputs;
     out
   in
-  let cover =
-    Sc_logic.Cover.of_function ~ninputs:total_in
-      ~noutputs:(state_bits + out_bits) f
+  Sc_logic.Cover.of_function ~ninputs:total_in ~noutputs:(state_bits + out_bits)
+    f
+
+let pla_fsm ?(minimize = true) design =
+  check_design ~stage:"compile" design;
+  let state_bits =
+    List.fold_left (fun a (d : Ast.decl) -> a + d.width) 0 design.Ast.regs
   in
-  Sc_pla.Generator.generate ~minimize ~name:(design.Ast.name ^ "_pla") cover
+  let out_bits =
+    List.fold_left (fun a (d : Ast.decl) -> a + d.width) 0 design.Ast.outputs
+  in
+  let pla =
+    Sc_obs.Obs.span "compile" @@ fun () ->
+    Sc_pla.Generator.generate ~minimize
+      ~name:(design.Ast.name ^ "_pla")
+      (fsm_cover design)
   in
   (* wrap: inputs and state feed the PLA; state bits register its outputs *)
   let b = Builder.create design.Ast.name in

@@ -35,10 +35,14 @@ val translate : Sc_rtl.Ast.design -> Circuit.t
     @raise Sc_pipeline.Diag.Error when the design fails
     {!Sc_rtl.Check.check} (stage ["compile"]). *)
 
-val optimize_result : Circuit.t -> result
+val optimize_result : ?inject:int -> Circuit.t -> result
 (** Run {!Sc_netlist.Optimize.simplify} and package the outcome with
     its stats/area/timing, emitting the gate-count gauges — the
-    pipeline's "optimize" pass. *)
+    pipeline's "optimize" pass.  [inject] deliberately miscompiles:
+    after simplification the first mutable gate at or after index
+    [inject] (wrapping) is flipped with {!Sc_equiv.Checker.mutate} — a
+    live fault for the certificate machinery to refuse.
+    @raise Invalid_argument with [inject] when no gate can be mutated. *)
 
 val replay_gauges : result -> unit
 (** Re-emit the [gates]/[flipflops]/[transistors] gauges a fresh
@@ -60,6 +64,14 @@ val gates : ?optimize:bool -> ?selfcheck:bool -> Sc_rtl.Ast.design -> result
 (** Largest state+input bit count {!pla_fsm} will enumerate (the FSM
     extraction tabulates all [2^n] points of the transition function). *)
 val max_bits : int
+
+val fsm_cover : Sc_rtl.Ast.design -> Sc_logic.Cover.t
+(** The raw, unminimized next-state/output cover of [design],
+    enumerated through the {!Sc_rtl.Interp} reference semantics — the
+    specification {!pla_fsm}'s minimized PLA is certified against
+    ({!Sc_equiv.Checker.check_covers}).
+    @raise Sc_pipeline.Diag.Error (stage ["compile"]) under the same
+    conditions as {!pla_fsm}. *)
 
 (** @raise Sc_pipeline.Diag.Error (stage ["compile"]) when state+input
     bits exceed [max_bits] or the design fails {!Sc_rtl.Check.check}. *)

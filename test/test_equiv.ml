@@ -96,7 +96,34 @@ let test_comb_counterexample_replays () =
   let frame = List.hd cex.Checker.frames in
   check_int "x=1" 1 (List.assoc "x" frame);
   check_int "y=1" 1 (List.assoc "y" frame);
-  check_bool "replay confirms" true (Checker.replay direct broken cex)
+  check_bool "replay confirms" true
+    (Checker.replay direct broken cex = Checker.Reproduced)
+
+(* replay is three-valued: a witness can be confirmed, definitely not
+   reproduced, or indeterminate when the simulator sees X where the BDD
+   model (which has no X) saw a definite bit *)
+let test_replay_verdicts () =
+  let fabricate frames = { Checker.frames; output = "z"; bit = 0; cycle = 0 } in
+  check_bool "identical circuits never reproduce a witness" true
+    (Checker.replay (xor_direct ()) (xor_direct ())
+       (fabricate [ [ ("x", 1); ("y", 1) ] ])
+    = Checker.Not_reproduced);
+  (* an undriven input leaves the output X on both sides: the witness is
+     neither confirmed nor refuted *)
+  check_bool "undriven input is indeterminate" true
+    (Checker.replay (xor_direct ()) (xor_nands ())
+       (fabricate [ [ ("x", 1) ] ])
+    = Checker.Indeterminate);
+  (* a frame list shorter than the failing cycle cannot reach it *)
+  check_bool "witness past the last frame is not reproduced" true
+    (Checker.replay (xor_direct ()) (xor_nands ())
+       { Checker.frames = [ [ ("x", 1); ("y", 1) ] ]; output = "z"; bit = 0
+       ; cycle = 3
+       }
+    = Checker.Not_reproduced);
+  Alcotest.(check string) "indeterminate renders its cause"
+    "indeterminate (X state)"
+    (Checker.replay_verdict_to_string Checker.Indeterminate)
 
 let test_port_mismatch_raises () =
   let b = Builder.create "w" in
@@ -187,7 +214,7 @@ let test_pdp8_datapath_mutation_caught () =
   let mutated = Checker.mutate hand (nmut / 2) in
   let cex = expect_cex "mutated datapath" (Checker.check synth mutated) in
   check_bool "replay confirms mutation" true
-    (Checker.replay synth mutated cex)
+    (Checker.replay synth mutated cex = Checker.Reproduced)
 
 (* --- bounded sequential equivalence --- *)
 
@@ -224,8 +251,11 @@ let test_seq_mutation_caught_and_replays () =
           (* a mutation can be masked (e.g. in a dead cone); try the next *)
           try_mutation (i + 1)
         | Checker.Not_equivalent cex ->
+          check_int "frames stop at the failing cycle"
+            (cex.Checker.cycle + 1)
+            (List.length cex.Checker.frames);
           check_bool "sequential replay confirms" true
-            (Checker.replay synth mutated cex))
+            (Checker.replay synth mutated cex = Checker.Reproduced))
       | exception Invalid_argument _ -> try_mutation (i + 1)
   in
   try_mutation 0
@@ -385,6 +415,7 @@ let suite =
   ; Alcotest.test_case "comb equivalent" `Quick test_comb_equivalent
   ; Alcotest.test_case "comb counterexample replays" `Quick
       test_comb_counterexample_replays
+  ; Alcotest.test_case "replay verdicts" `Quick test_replay_verdicts
   ; Alcotest.test_case "port mismatch raises" `Quick test_port_mismatch_raises
   ; Alcotest.test_case "hierarchy equivalent" `Quick test_hierarchy_equivalent
   ; Alcotest.test_case "ordering heuristics agree" `Quick

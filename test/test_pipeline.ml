@@ -254,6 +254,104 @@ let test_warm_qor_identity () =
   check_bool "runtime keys stay out of QoR" true
     (List.for_all (fun (k, _) -> not (M.is_runtime_key k)) warm.M.qor)
 
+(* --- concurrency: the store is created once, the journal is per-thread --- *)
+
+(* a reusable two-phase barrier so every thread hits the racy region
+   together *)
+let barrier n =
+  let m = Mutex.create () and cv = Condition.create () in
+  let arrived = ref 0 and generation = ref 0 in
+  fun () ->
+    Mutex.protect m (fun () ->
+        let gen = !generation in
+        incr arrived;
+        if !arrived = n then begin
+          arrived := 0;
+          incr generation;
+          Condition.broadcast cv
+        end
+        else
+          while !generation = gen do
+            Condition.wait cv m
+          done)
+
+(* 8 threads race one freshly-registered pass, repeatedly.  Before the
+   store creation was locked, two threads could each install their own
+   store and the loser's counters vanished; with one store, every run is
+   accounted for: hits + disk hits + misses = runs *)
+let test_store_creation_race () =
+  with_clean_pipeline @@ fun () ->
+  P.enable_cache ();
+  let nthreads = 8 and rounds = 20 in
+  for round = 0 to rounds - 1 do
+    let execs = Atomic.make 0 in
+    let name = Printf.sprintf "unit_hammer_%d" round in
+    let pass =
+      P.register ~name (fun n ->
+          Atomic.incr execs;
+          Ok (n + 1))
+    in
+    let input = P.inject ~tag:"n" ~repr:"7" 7 in
+    let sync = barrier nthreads in
+    let failures = Atomic.make 0 in
+    let worker () =
+      sync ();
+      (match P.run pass input with
+      | Ok out -> if P.value out <> 8 then Atomic.incr failures
+      | Error _ -> Atomic.incr failures);
+      P.drop_log ()
+    in
+    let ts = List.init nthreads (fun _ -> Thread.create worker ()) in
+    List.iter Thread.join ts;
+    check_int "every thread got the result" 0 (Atomic.get failures);
+    match List.assoc_opt name (P.cache_stats ()) with
+    | None -> Alcotest.fail "store expected"
+    | Some s ->
+      check_int
+        (Printf.sprintf "round %d: one store accounts for every run" round)
+        nthreads
+        (s.Sc_cache.Cache.hits + s.Sc_cache.Cache.disk_hits
+       + s.Sc_cache.Cache.misses);
+      check_int
+        (Printf.sprintf "round %d: misses are the real executions" round)
+        (Atomic.get execs) s.Sc_cache.Cache.misses
+  done
+
+(* two threads interleave compilations; each journal sees only its own
+   passes *)
+let test_journal_isolation () =
+  with_clean_pipeline @@ fun () ->
+  let mk_pass name =
+    P.register ~name (fun n -> Ok (n + 1))
+  in
+  let a = mk_pass "unit_journal_a" and b = mk_pass "unit_journal_b" in
+  let sync = barrier 2 in
+  let observed = Array.make 2 [] in
+  let worker idx pass n () =
+    P.reset_log ();
+    sync ();
+    for _ = 1 to n do
+      ignore (P.run pass (P.inject ~tag:"n" ~repr:"1" 1))
+    done;
+    sync ();
+    observed.(idx) <- List.map (fun (name, _) -> name) (P.log ());
+    P.drop_log ()
+  in
+  let t1 = Thread.create (worker 0 a 3) () in
+  let t2 = Thread.create (worker 1 b 5) () in
+  Thread.join t1;
+  Thread.join t2;
+  Alcotest.(check (list string))
+    "thread 1 sees only its own passes"
+    [ "unit_journal_a"; "unit_journal_a"; "unit_journal_a" ]
+    observed.(0);
+  Alcotest.(check (list string))
+    "thread 2 sees only its own passes"
+    [ "unit_journal_b"; "unit_journal_b"; "unit_journal_b"; "unit_journal_b"
+    ; "unit_journal_b"
+    ]
+    observed.(1)
+
 let suite =
   [ Alcotest.test_case "staged keys" `Quick test_staged_keys
   ; Alcotest.test_case "pass cache and log" `Quick test_pass_cache_and_log
@@ -263,4 +361,6 @@ let suite =
       test_incremental_invalidation
   ; Alcotest.test_case "route QoR in snapshot" `Quick test_route_in_snapshot
   ; Alcotest.test_case "warm QoR byte identity" `Quick test_warm_qor_identity
+  ; Alcotest.test_case "store creation race" `Quick test_store_creation_race
+  ; Alcotest.test_case "journal isolation" `Quick test_journal_isolation
   ]

@@ -15,10 +15,12 @@ let spec =
   ; source = "module counter; inputs a[1]; end"
   ; style = "gates"
   ; restarts = 3
+  ; certify = false
   }
 
 let requests : (string * P.request) list =
   [ ("compile", P.Compile spec)
+  ; ("compile certified", P.Compile { spec with P.certify = true })
   ; ("report", P.Report { spec with P.style = "pla"; restarts = 0 })
   ; ( "diff"
     , P.Diff
@@ -190,12 +192,17 @@ let stat socket key =
 let counter_spec =
   match Sc_core.Designs.builtin "counter" with
   | Some source ->
-    { P.design = "counter"; source; style = "gates"; restarts = 0 }
+    { P.design = "counter"; source; style = "gates"; restarts = 0
+    ; certify = false
+    }
   | None -> assert false
 
 let pdp8_spec =
   match Sc_core.Designs.builtin "pdp8" with
-  | Some source -> { P.design = "pdp8"; source; style = "gates"; restarts = 0 }
+  | Some source ->
+    { P.design = "pdp8"; source; style = "gates"; restarts = 0
+    ; certify = false
+    }
   | None -> assert false
 
 let test_two_client_dedup () =
@@ -269,6 +276,32 @@ let test_server_verbs_and_errors () =
   | Ok (P.Error_reply { stage = "protocol"; _ }) -> ()
   | _ -> Alcotest.fail "garbage frame must yield a protocol error"
 
+(* certify rides the wire: a certified request compiles, its snapshot
+   carries the certificate counters, and the uncertified variant of the
+   same design is a distinct dedup key (its snapshot has no
+   certificates) *)
+let test_certified_compile_via_daemon () =
+  with_server @@ fun socket ->
+  let certified_passes c =
+    match Json.member "qor" c.P.snapshot with
+    | Some qor -> (
+      match Json.member "equiv.certified_passes" qor with
+      | Some (Json.Num n) -> int_of_float n
+      | _ -> 0)
+    | None -> 0
+  in
+  (match rpc socket (P.Compile { counter_spec with P.certify = true }) with
+  | P.Compiled c ->
+    check_bool "certified request proves a pass" true (certified_passes c >= 1)
+  | P.Error_reply { stage; message } ->
+    Alcotest.failf "certified compile failed: %s: %s" stage message
+  | _ -> Alcotest.fail "expected Compiled");
+  match rpc socket (P.Compile counter_spec) with
+  | P.Compiled c ->
+    check_int "uncertified request carries no certificate" 0
+      (certified_passes c)
+  | _ -> Alcotest.fail "expected Compiled"
+
 let verilog_spec =
   { P.design = "blinker"
   ; source =
@@ -276,6 +309,7 @@ let verilog_spec =
       \  always @(posedge clk) q <= ~q;\nendmodule\n"
   ; style = "verilog"
   ; restarts = 0
+  ; certify = false
   }
 
 let test_verilog_style () =
@@ -321,5 +355,7 @@ let suite =
   ; Alcotest.test_case "two-client dedup" `Quick test_two_client_dedup
   ; Alcotest.test_case "verbs and structured errors" `Quick
       test_server_verbs_and_errors
+  ; Alcotest.test_case "certified compile via daemon" `Quick
+      test_certified_compile_via_daemon
   ; Alcotest.test_case "verilog style" `Quick test_verilog_style
   ]
