@@ -1173,8 +1173,8 @@ let e14 () =
   in
   let stat key =
     match one_shot P.Stats with
-    | P.Stats_reply kvs -> (
-      match List.assoc_opt key kvs with
+    | P.Stats_reply s -> (
+      match List.assoc_opt key s.P.counters with
       | Some v -> v
       | None -> fail ("no stat " ^ key))
     | _ -> fail "unexpected stats response"
@@ -1453,6 +1453,288 @@ let e15 () =
   Printf.printf "machine-readable results written to BENCH_e15.json\n"
 
 (* ------------------------------------------------------------------ *)
+(* E16: per-request observability under concurrency                    *)
+(* ------------------------------------------------------------------ *)
+
+let e16 () =
+  section "E16: per-request observability under concurrency"
+    "every daemon execution carries its own recorder, so instrumented \
+     compiles overlap instead of serializing behind a global \
+     observability lock — and each response's measured QoR stays \
+     byte-identical to the committed baselines";
+  let module P = Sc_serve.Protocol in
+  let wall f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let fail msg =
+    Printf.printf "\nFAIL: %s\n" msg;
+    exit 1
+  in
+  let designs = [ "counter"; "traffic"; "alu4"; "pdp8" ] in
+  let src_of name =
+    match Sc_core.Designs.builtin name with
+    | Some s -> s
+    | None -> fail ("no builtin design " ^ name)
+  in
+  let baseline_dir =
+    if Sys.file_exists "bench/baselines" then "bench/baselines"
+    else "baselines"
+  in
+  let baseline_qor =
+    List.map
+      (fun name ->
+        let path = Filename.concat baseline_dir (name ^ ".json") in
+        match Sc_metrics.Metrics.read path with
+        | Ok s -> (name, Sc_metrics.Metrics.qor_string s)
+        | Error e -> fail (path ^ ": " ^ e))
+      designs
+  in
+  let spec ?(restarts = 0) name =
+    { P.design = name; source = src_of name; style = "gates"; restarts
+    ; certify = false
+    }
+  in
+  (* the overlap-timing workload: four pdp8 placements with different
+     restart budgets — four distinct dedup keys, each ~1 s of genuine
+     pipeline work, so concurrency shortens the critical path instead
+     of hiding behind one dominant design *)
+  let heavy = [ 1; 2; 3; 4 ] in
+  let heavy_spec r = spec ~restarts:r "pdp8" in
+  let tmp = Filename.get_temp_dir_name () in
+  (* both phases run the same daemon path against a fresh cold stage
+     cache, so the only variable is whether the four instrumented
+     compiles are issued sequentially or concurrently *)
+  let with_daemon ?trace_dir tag f =
+    let socket = Filename.concat tmp ("scc-e16-" ^ tag ^ ".sock") in
+    let cache_dir = Filename.concat tmp ("scc-e16-" ^ tag ^ "-cache") in
+    rm_rf cache_dir;
+    (try Sys.remove socket with Sys_error _ -> ());
+    let server_exit = ref (-1) in
+    let server =
+      Thread.create
+        (fun () ->
+          server_exit :=
+            Sc_serve.Server.run ~jobs:1 ~stage_cache:cache_dir
+              ~handle_signals:false ?trace_dir ~socket ())
+        ()
+    in
+    let rec await n =
+      if n = 0 then fail "daemon did not come up"
+      else if not (Sys.file_exists socket) then begin
+        Thread.delay 0.05;
+        await (n - 1)
+      end
+    in
+    await 100;
+    let r = f socket in
+    (match Sc_serve.Client.one_shot socket P.Shutdown with
+    | Ok P.Bye -> ()
+    | _ -> fail "shutdown: expected Bye");
+    Thread.join server;
+    if !server_exit <> 0 then
+      fail (Printf.sprintf "daemon exited %d" !server_exit);
+    rm_rf cache_dir;
+    Sc_pipeline.Pipeline.disable_cache ();
+    Sc_pipeline.Pipeline.clear_caches ();
+    r
+  in
+  let one_shot socket req =
+    match Sc_serve.Client.one_shot socket req with
+    | Ok r -> r
+    | Error e -> fail ("rpc: " ^ e)
+  in
+  let qor_of name = function
+    | P.Compiled c -> (
+      match Sc_metrics.Metrics.of_json c.P.snapshot with
+      | Ok snap -> Sc_metrics.Metrics.qor_string snap
+      | Error e -> fail (name ^ ": bad snapshot: " ^ e))
+    | P.Error_reply { stage; message } ->
+      fail (name ^ ": " ^ stage ^ ": " ^ message)
+    | _ -> fail (name ^ ": unexpected response")
+  in
+  let check_qor qors =
+    List.iter
+      (fun (name, qor) ->
+        match List.assoc_opt name baseline_qor with
+        | Some want when String.equal want qor -> ()
+        | Some _ -> fail (name ^ ": QoR differs from committed baseline")
+        | None -> fail ("no baseline for " ^ name))
+      qors
+  in
+  let must_compile tag = function
+    | P.Compiled _ -> ()
+    | P.Error_reply { stage; message } ->
+      fail (tag ^ ": " ^ stage ^ ": " ^ message)
+    | _ -> fail (tag ^ ": unexpected response")
+  in
+  (* --- phase A: everything sequential — the four baseline designs
+     (QoR-checked), then the four heavy variants (the sum of solos) --- *)
+  let t_designs_seq, t_seq =
+    with_daemon "seq" (fun socket ->
+        let (), t_designs =
+          wall (fun () ->
+              check_qor
+                (List.map
+                   (fun name ->
+                     ( name
+                     , qor_of name (one_shot socket (P.Compile (spec name))) ))
+                   designs))
+        in
+        let (), t_heavy =
+          wall (fun () ->
+              List.iter
+                (fun r ->
+                  must_compile
+                    (Printf.sprintf "pdp8 --restarts %d" r)
+                    (one_shot socket (P.Compile (heavy_spec r))))
+                heavy)
+        in
+        (t_designs, t_heavy))
+  in
+  Printf.printf
+    "sequential: %d cold instrumented compiles in %.2f s, then %d heavy \
+     placement variants in %.2f s\n"
+    (List.length designs) t_designs_seq (List.length heavy) t_seq;
+  (* --- phase B: the same work from concurrent clients, each execution
+     on its own domain with its own recorder and trace --- *)
+  let trace_dir = Filename.concat tmp "scc-e16-traces" in
+  rm_rf trace_dir;
+  let concurrently jobs =
+    let jobs = Array.of_list jobs in
+    let replies = Array.make (Array.length jobs) None in
+    let (), t =
+      wall (fun () ->
+          let threads =
+            Array.to_list
+              (Array.mapi
+                 (fun i job ->
+                   Thread.create (fun () -> replies.(i) <- Some (job ())) ())
+                 jobs)
+          in
+          List.iter Thread.join threads)
+    in
+    ( Array.to_list
+        (Array.map
+           (function Some r -> r | None -> fail "a client got no reply")
+           replies)
+    , t )
+  in
+  let (stats, t_designs_par, t_par) =
+    with_daemon ~trace_dir "par" (fun socket ->
+        let replies, t_designs =
+          concurrently
+            (List.map
+               (fun name () -> one_shot socket (P.Compile (spec name)))
+               designs)
+        in
+        check_qor
+          (List.map2 (fun name r -> (name, qor_of name r)) designs replies);
+        let heavies, t_heavy =
+          concurrently
+            (List.map
+               (fun r () -> one_shot socket (P.Compile (heavy_spec r)))
+               heavy)
+        in
+        List.iter2
+          (fun r reply ->
+            must_compile (Printf.sprintf "pdp8 --restarts %d" r) reply)
+          heavy heavies;
+        let stats =
+          match one_shot socket P.Stats with
+          | P.Stats_reply s -> s
+          | _ -> fail "unexpected stats response"
+        in
+        (stats, t_designs, t_heavy))
+  in
+  let stat key =
+    match List.assoc_opt key stats.P.counters with
+    | Some v -> v
+    | None -> fail ("no stat " ^ key)
+  in
+  let peak = stat "serve.peak_executions" in
+  Printf.printf
+    "concurrent: %d cold instrumented compiles in %.2f s, %d heavy \
+     variants in %.2f s (peak %d executions in flight)\n"
+    (List.length designs) t_designs_par (List.length heavy) t_par peak;
+  if peak < 2 then
+    fail "instrumented compiles serialized: peak concurrent executions < 2";
+  (* the per-verb latency histogram saw exactly the compile requests *)
+  let sent = List.length designs + List.length heavy in
+  let compile_count = stat "latency.compile.count" in
+  if compile_count <> sent then
+    fail
+      (Printf.sprintf "latency.compile.count = %d, expected %d" compile_count
+         sent);
+  let p50 = stat "latency.compile.p50_us" in
+  let p95 = stat "latency.compile.p95_us" in
+  let p99 = stat "latency.compile.p99_us" in
+  if p50 <= 0 || p95 < p50 || p99 < p95 then
+    fail
+      (Printf.sprintf "implausible compile percentiles p50=%d p95=%d p99=%d"
+         p50 p95 p99);
+  Printf.printf "compile latency: p50 %d us, p95 %d us, p99 %d us\n" p50 p95
+    p99;
+  (* every execution wrote its own Chrome trace *)
+  let traces =
+    if Sys.file_exists trace_dir then
+      Sys.readdir trace_dir |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f ".trace.json")
+    else []
+  in
+  if List.length traces <> sent then
+    fail
+      (Printf.sprintf "expected %d traces, found %d" sent
+         (List.length traces));
+  Printf.printf "per-request traces: %d written to %s\n" (List.length traces)
+    trace_dir;
+  rm_rf trace_dir;
+  Printf.printf
+    "every response QoR byte-identical to the committed baselines in both \
+     phases\n";
+  let cores = Domain.recommended_domain_count () in
+  let speedup = t_seq /. Float.max t_par 0.001 in
+  Printf.printf
+    "overlap: heavy batch %.2fx over the sum of solos on %d cores\n" speedup
+    cores;
+  if cores >= 4 && t_par >= 0.7 *. t_seq then
+    fail
+      (Printf.sprintf
+         "concurrent instrumented compiles did not overlap: %.2f s \
+          concurrent vs %.2f s sum-of-solos on %d cores"
+         t_par t_seq cores);
+  let round2 t = Sc_obs.Json.Num (Float.round (t *. 100.) /. 100.) in
+  let json =
+    Sc_obs.Json.Obj
+      [ ("schema", Sc_obs.Json.Str "scc-bench")
+      ; ("experiment", Sc_obs.Json.Str "e16")
+      ; ("designs_sequential_s", round2 t_designs_seq)
+      ; ("designs_concurrent_s", round2 t_designs_par)
+      ; ("heavy_sequential_s", round2 t_seq)
+      ; ("heavy_concurrent_s", round2 t_par)
+      ; ("speedup", round2 speedup)
+      ; ("cores", Sc_obs.Json.Num (float_of_int cores))
+      ; ("peak_executions", Sc_obs.Json.Num (float_of_int peak))
+      ; ( "compile_latency_us"
+        , Sc_obs.Json.Obj
+            [ ("p50", Sc_obs.Json.Num (float_of_int p50))
+            ; ("p95", Sc_obs.Json.Num (float_of_int p95))
+            ; ("p99", Sc_obs.Json.Num (float_of_int p99))
+            ] )
+      ; ("traces", Sc_obs.Json.Num (float_of_int (List.length traces)))
+      ; ("qor_identical", Sc_obs.Json.Bool true)
+      ]
+  in
+  let oc = open_out "BENCH_e16.json" in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Sc_obs.Json.to_string json);
+      output_char oc '\n');
+  Printf.printf "machine-readable results written to BENCH_e16.json\n"
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
@@ -1471,6 +1753,7 @@ let () =
     | "e13" -> e13 ()
     | "e14" -> e14 ()
     | "e15" -> e15 ()
+    | "e16" -> e16 ()
     | "ablate" -> ablate ()
     | "micro" -> micro ()
     | other -> Printf.eprintf "unknown experiment %S\n" other
@@ -1479,6 +1762,6 @@ let () =
   | "all" ->
     List.iter run
       [ "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e7"; "e8"; "e9"; "e10"; "e11"
-      ; "e13"; "e14"; "e15"; "ablate"; "micro"
+      ; "e13"; "e14"; "e15"; "e16"; "ablate"; "micro"
       ]
   | w -> run w

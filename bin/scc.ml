@@ -816,9 +816,85 @@ let socket_arg =
     & info [ "socket" ] ~docv:"PATH"
         ~doc:"Unix-domain socket path the daemon listens on.")
 
+let serve_log_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "log" ] ~docv:"FILE"
+        ~doc:
+          "Append a structured JSONL log to $(docv): one JSON object per \
+           line — per request (verb, design, digest, status, duration, \
+           dedup/cache/certify outcome) plus daemon lifecycle events.")
+
+let serve_log_level_arg =
+  let level =
+    Arg.conv
+      ( (fun s ->
+          match Sc_obs.Slog.level_of_string s with
+          | Ok l -> Ok l
+          | Error e -> Error (`Msg e))
+      , fun ppf l -> Format.pp_print_string ppf (Sc_obs.Slog.level_to_string l)
+      )
+  in
+  Arg.(
+    value
+    & opt level Sc_obs.Slog.Info
+    & info [ "log-level" ] ~docv:"LEVEL"
+        ~doc:
+          "Drop log lines below $(docv): debug, info (default), warn or \
+           error.  Per-request lines are info (stats requests: debug), \
+           protocol violations and failed compiles warn.")
+
+let serve_trace_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-dir" ] ~docv:"DIR"
+        ~doc:
+          "Write per-execution Chrome traces to \
+           $(docv)/<seq>-<design>-<digest>.trace.json (created if \
+           missing).  Sampled by $(b,--trace-sample).")
+
+let serve_trace_sample_arg =
+  let sample =
+    Arg.conv
+      ( (fun s ->
+          match String.index_opt s '/' with
+          | Some i -> (
+            match
+              ( int_of_string_opt (String.sub s 0 i)
+              , int_of_string_opt
+                  (String.sub s (i + 1) (String.length s - i - 1)) )
+            with
+            | Some n, Some m when m >= 1 && n >= 0 -> Ok (n, m)
+            | _ -> Error (`Msg (s ^ ": expected N/M with M >= 1, N >= 0")))
+          | None -> Error (`Msg (s ^ ": expected N/M, e.g. 1/10")))
+      , fun ppf (n, m) -> Format.fprintf ppf "%d/%d" n m )
+  in
+  Arg.(
+    value
+    & opt sample (1, 1)
+    & info [ "trace-sample" ] ~docv:"N/M"
+        ~doc:
+          "Trace the first $(b,N) of every $(b,M) executions (default \
+           1/1: every execution).  Only meaningful with \
+           $(b,--trace-dir).")
+
+let serve_exec_domains_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "exec-domains" ] ~docv:"N"
+        ~doc:
+          "Bound on concurrently executing compilations (each runs on \
+           its own domain with its own recorder).  Default: the \
+           runtime's recommended domain count, at least 2.")
+
 let serve_cmd =
-  let run socket jobs stage_cache =
-    Sc_serve.Server.run ~jobs ?stage_cache ~socket ()
+  let run socket jobs stage_cache exec_domains log log_level trace_dir
+      trace_sample =
+    Sc_serve.Server.run ~jobs ?stage_cache ?exec_domains ?log ~log_level
+      ?trace_dir ~trace_sample ~socket ()
   in
   Cmd.v
     (Cmd.info "serve"
@@ -826,9 +902,16 @@ let serve_cmd =
          "Run the compile daemon: a long-running process multiplexing \
           concurrent compilations over one shared stage cache.  Clients \
           connect over the Unix-domain socket ($(b,scc client)); \
-          identical in-flight requests are deduplicated; SIGTERM or \
+          identical in-flight requests are deduplicated; each execution \
+          records into its own per-request recorder, so instrumented \
+          compiles overlap.  Telemetry: per-verb latency histograms \
+          ($(b,scc client stats)), a structured JSONL log ($(b,--log)), \
+          and sampled Chrome traces ($(b,--trace-dir)).  SIGTERM or \
           $(b,scc client shutdown) drains connections and exits.")
-    Term.(const run $ socket_arg $ jobs_arg $ stage_cache_arg)
+    Term.(
+      const run $ socket_arg $ jobs_arg $ stage_cache_arg
+      $ serve_exec_domains_arg $ serve_log_arg $ serve_log_level_arg
+      $ serve_trace_dir_arg $ serve_trace_sample_arg)
 
 (* client compile specs are sent with the source inlined, so the
    daemon's dedup key is a pure function of the frame: resolve builtin
@@ -1074,16 +1157,31 @@ let client_equiv_cmd =
 let client_stats_cmd =
   let run socket =
     client_call socket Sc_serve.Protocol.Stats (function
-      | Sc_serve.Protocol.Stats_reply kvs ->
-        List.iter (fun (k, v) -> Printf.printf "%-18s %d\n" k v) kvs;
+      | Sc_serve.Protocol.Stats_reply
+          { counters; uptime_s; server_version; verbs } ->
+        (* header fields are absent when the daemon predates the
+           telemetry protocol bump — print what we got *)
+        (match server_version with
+        | Some v -> Printf.printf "%-26s %s\n" "version" v
+        | None -> ());
+        (match uptime_s with
+        | Some u -> Printf.printf "%-26s %ds\n" "uptime" u
+        | None -> ());
+        List.iter
+          (fun (verb, n) -> Printf.printf "%-26s %d\n" ("verb." ^ verb) n)
+          verbs;
+        List.iter (fun (k, v) -> Printf.printf "%-26s %d\n" k v) counters;
         0
       | _ -> unexpected ())
   in
   Cmd.v
     (Cmd.info "stats"
        ~doc:
-         "Print the daemon's counters: requests, in-flight, dedup hits, \
-          executions, and the aggregated stage-cache statistics.")
+         "Print the daemon's telemetry: version, uptime, per-verb \
+          request counts, server counters (requests, in-flight, dedup \
+          hits, executions, peak concurrency), per-verb latency \
+          percentiles (p50/p95/p99), and the aggregated stage-cache \
+          statistics.")
     Term.(const run $ socket_arg)
 
 let client_shutdown_cmd =

@@ -327,8 +327,19 @@ let gates_path ~restarts ?inject design =
   let* _route = P.run route_pass (P.map (fun p -> p.placement) placed) in
   Ok (P.map (fun p -> p.playout) placed, circuit)
 
-let compile_behavior ?(style = Random_logic) ?(restarts = 0) ?inject_fault src
-    =
+(* [?recorder] on the drivers installs a per-run Obs recorder around
+   the whole pass sequence (see [Sc_obs.Obs.with_recorder]): every
+   span/counter below — including pool tasks the passes fan out —
+   lands in that recorder.  Omitted, the ambient recorder applies and
+   single-shot callers are unchanged. *)
+let recorded recorder f =
+  match recorder with
+  | None -> f ()
+  | Some r -> Sc_obs.Obs.with_recorder r f
+
+let compile_behavior ?recorder ?(style = Random_logic) ?(restarts = 0)
+    ?inject_fault src =
+  recorded recorder @@ fun () ->
   let* design = P.run parse_pass (P.source src) in
   let* layout_staged, circuit =
     match style with
@@ -342,7 +353,8 @@ let compile_behavior ?(style = Random_logic) ?(restarts = 0) ?inject_fault src
   let* c = finish_layout layout_staged in
   Ok (c, circuit)
 
-let compile_verilog ?(restarts = 0) ?inject_fault src =
+let compile_verilog ?recorder ?(restarts = 0) ?inject_fault src =
+  recorded recorder @@ fun () ->
   let* design = P.run parse_verilog_pass (P.source src) in
   let* layout_staged, circuit =
     gates_path ~restarts ?inject:inject_fault design
@@ -355,7 +367,8 @@ let verilog_design src =
   | Ok d -> Ok d
   | Error e -> Error (Diag.v ~stage:"verilog.parse" e)
 
-let compile_layout ?entry ?(args = []) src =
+let compile_layout ?recorder ?entry ?(args = []) src =
+  recorded recorder @@ fun () ->
   let param =
     Printf.sprintf "entry=%s;args=%s"
       (Option.value ~default:"" entry)

@@ -46,8 +46,17 @@ type compiled =
   ; transistors : int
   }
 
+(** Every front door takes an optional [recorder]: the whole pass
+    sequence — spans, counters, pool tasks it fans out — records into
+    that {!Sc_obs.Obs.Recorder.t} (installed as ambient for the run,
+    see {!Sc_obs.Obs.with_recorder}).  Omitted, the caller's ambient
+    recorder applies; single-shot tools never pass it.  The serve
+    daemon passes a fresh recorder per request so concurrent compiles
+    record independently. *)
+
 (** Structural path: layout-language source to artwork. *)
 val compile_layout :
+  ?recorder:Sc_obs.Obs.Recorder.t ->
   ?entry:string ->
   ?args:int list ->
   string ->
@@ -64,6 +73,7 @@ val compile_layout :
     by a pass param, so faulty artifacts never share cache keys with
     honest ones (ignored by [Pla_control]). *)
 val compile_behavior :
+  ?recorder:Sc_obs.Obs.Recorder.t ->
   ?style:behavior_style ->
   ?restarts:int ->
   ?inject_fault:int ->
@@ -79,6 +89,7 @@ val compile_behavior :
     carry [line:col:] positions.  [inject_fault] as in
     {!compile_behavior}. *)
 val compile_verilog :
+  ?recorder:Sc_obs.Obs.Recorder.t ->
   ?restarts:int ->
   ?inject_fault:int ->
   string ->

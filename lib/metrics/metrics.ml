@@ -31,14 +31,15 @@ let round_us ms = Float.round (ms *. 1000.0)
 
 let by_key (a, _) (b, _) = String.compare a b
 
-let capture ~design () =
+let capture ?recorder ~design () =
+  let r = match recorder with Some r -> r | None -> Obs.ambient () in
   let qor, runtime =
     List.fold_left
       (fun (q, r) (k, v) ->
         let e = (k, float_of_int v) in
         if is_runtime_key k then (q, e :: r) else (e :: q, r))
       ([], [])
-      (Obs.totals ())
+      (Obs.Recorder.totals r)
   in
   let stages =
     List.concat_map
@@ -48,7 +49,7 @@ let capture ~design () =
         ; (base ^ ".self_us", round_us row.self_ms)
         ; (base ^ ".calls", float_of_int row.calls)
         ])
-      (Obs.stage_table ())
+      (Obs.Recorder.stage_table r)
   in
   { version = schema_version
   ; design

@@ -44,13 +44,15 @@ val is_runtime_key : string -> bool
     ending in [".tasks"]/[".calls"] are runtime; everything else is
     QoR. *)
 
-val capture : design:string -> unit -> snapshot
-(** Build a snapshot from the current [Obs] recorder state: global
-    counters and gauges split into the two sections by
-    {!is_runtime_key}, and the per-stage table folded in as
+val capture :
+  ?recorder:Sc_obs.Obs.Recorder.t -> design:string -> unit -> snapshot
+(** Build a snapshot from an [Obs] recorder's state — [recorder] if
+    given, the ambient recorder otherwise: global counters and gauges
+    split into the two sections by {!is_runtime_key}, and the per-stage
+    table folded in as
     ["stage.<path>.total_us"/".self_us"/".calls"].  Times are rounded
     to whole microseconds.  Reads completed events, so it also works
-    after [Obs.disable]. *)
+    after the recorder is disabled. *)
 
 (** {2 JSON} *)
 

@@ -1,13 +1,27 @@
-(* One global recorder per process.  Everything below the [on] check is
-   only reachable when recording, so the disabled cost of a span is one
-   load + branch (plus the closure call the caller already paid for).
+(* Recorder instances.  A [Recorder.t] carries its own span stacks,
+   counters, clock and enabled flag; [default] is the process-wide
+   instance behind the classic global API, and [with_recorder] installs
+   a different instance for the current (domain, thread) so a serve
+   daemon can record many requests at once without sharing state.
 
-   Domain safety: the span stack is domain-local state (Domain.DLS), so
-   spans opened on a worker domain nest within that domain only and a
-   worker's first span is top-level on its own [tid] track.  The
-   completed-event list and the global counters are shared and guarded
-   by one mutex; frame-local counter bumps touch only the domain's own
-   open frame and need no lock. *)
+   Everything below the [on] check is only reachable when recording, so
+   the disabled cost of a span on the default recorder is one atomic
+   load, one field load and a branch (plus the closure call the caller
+   already paid for).
+
+   Concurrency: a recorder keys its span stacks by (domain id, thread
+   id), so spans opened on an [Sc_par] worker domain — or on another
+   systhread of the same domain — nest within that execution context
+   only, and a context's first span is top-level on its own [tid]
+   track.  The completed-event list and the global counters are shared
+   per recorder and guarded by its mutex; frame-local counter bumps
+   touch only the context's own open frame and need no lock.
+
+   [Recorder.reset] must be safe while spans are open (a daemon can be
+   asked to reset mid-request): it bumps the recorder's generation and
+   drops the stack table, so a frame opened before the reset is
+   orphaned — its [finish] still unwinds bookkeeping but records no
+   event into the cleared buffer. *)
 
 type event =
   { path : string
@@ -25,133 +39,10 @@ type frame =
   ; fpath : string
   ; fdepth : int
   ; fstart : float
+  ; fgen : int  (* recorder generation at open; stale frames record nothing *)
   ; mutable fcounters : (string * int) list  (* reverse insertion order *)
   ; mutable fchildren : float  (* seconds spent in completed children *)
   }
-
-let on = ref false
-let clock = ref Unix.gettimeofday
-let epoch = ref 0.0
-
-let stack_key : frame list ref Domain.DLS.key =
-  Domain.DLS.new_key (fun () -> ref [])
-
-let stack () = Domain.DLS.get stack_key
-
-let lock = Mutex.create ()
-let locked f = Mutex.protect lock f
-let finished : event list ref = ref [] (* reverse completion order *)
-let globals : (string, int) Hashtbl.t = Hashtbl.create 32
-
-let enabled () = !on
-
-let reset () =
-  (stack ()) := [];
-  locked (fun () ->
-      finished := [];
-      Hashtbl.reset globals);
-  epoch := !clock ()
-
-let enable () =
-  if !epoch = 0.0 then epoch := !clock ();
-  on := true
-
-let disable () = on := false
-
-let set_clock f = clock := f
-
-let span name f =
-  if not !on then f ()
-  else begin
-    let stack = stack () in
-    match !stack with
-    | top :: _ when top.fname = name ->
-      (* re-entrant: a span opened inside a same-named span merges with
-         it, so a pass manager wrapping "drc" around a checker that
-         already opens "drc" yields one stage row, not "drc.drc" *)
-      f ()
-    | _ ->
-    let parent = match !stack with [] -> None | p :: _ -> Some p in
-    let fpath =
-      match parent with None -> name | Some p -> p.fpath ^ "." ^ name
-    in
-    let fdepth = match parent with None -> 0 | Some p -> p.fdepth + 1 in
-    let fr =
-      { fname = name; fpath; fdepth; fstart = !clock (); fcounters = []
-      ; fchildren = 0.0
-      }
-    in
-    stack := fr :: !stack;
-    let finish () =
-      let dur = !clock () -. fr.fstart in
-      (match !stack with
-      | top :: rest when top == fr -> stack := rest
-      | _ -> ());
-      (match !stack with
-      | p :: _ -> p.fchildren <- p.fchildren +. dur
-      | [] -> ());
-      let e =
-        { path = fr.fpath
-        ; name = fr.fname
-        ; depth = fr.fdepth
-        ; tid = (Domain.self () :> int)
-        ; start_us = (fr.fstart -. !epoch) *. 1e6
-        ; dur_us = dur *. 1e6
-        ; self_us = (dur -. fr.fchildren) *. 1e6
-        ; counters = List.rev fr.fcounters
-        }
-      in
-      locked (fun () -> finished := e :: !finished)
-    in
-    match f () with
-    | r ->
-      finish ();
-      r
-    | exception e ->
-      finish ();
-      raise e
-  end
-
-let bump_frame fr name v ~add =
-  match List.assoc_opt name fr.fcounters with
-  | Some _ ->
-    fr.fcounters <-
-      List.map
-        (fun (k, x) -> if k = name then (k, if add then x + v else v) else (k, x))
-        fr.fcounters
-  | None -> fr.fcounters <- (name, v) :: fr.fcounters
-
-let bump_global name v ~add =
-  locked (fun () ->
-      let old = try Hashtbl.find globals name with Not_found -> 0 in
-      Hashtbl.replace globals name (if add then old + v else v))
-
-let count name n =
-  if !on then begin
-    (match !(stack ()) with
-    | fr :: _ -> bump_frame fr name n ~add:true
-    | [] -> ());
-    bump_global name n ~add:true
-  end
-
-let gauge name v =
-  if !on then begin
-    (match !(stack ()) with
-    | fr :: _ -> bump_frame fr name v ~add:false
-    | [] -> ());
-    bump_global name v ~add:false
-  end
-
-let events () =
-  List.sort
-    (fun a b -> Float.compare a.start_us b.start_us)
-    (locked (fun () -> List.rev !finished))
-
-let totals () =
-  locked (fun () -> Hashtbl.fold (fun k v acc -> (k, v) :: acc) globals [])
-  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
-
-(* --- per-stage aggregation --- *)
 
 type row =
   { rpath : string
@@ -162,122 +53,337 @@ type row =
   ; rcounters : (string * int) list
   }
 
-let stage_table () =
-  let acc : (string, row * float) Hashtbl.t = Hashtbl.create 16 in
-  List.iter
-    (fun e ->
-      let merge (r, first) =
-        ( { r with
-            calls = r.calls + 1
-          ; total_ms = r.total_ms +. (e.dur_us /. 1e3)
-          ; self_ms = r.self_ms +. (e.self_us /. 1e3)
-          ; rcounters =
-              List.fold_left
-                (fun cs (k, v) ->
-                  match List.assoc_opt k cs with
-                  | Some old ->
-                    List.map (fun (k', x) -> if k' = k then (k', old + v) else (k', x)) cs
-                  | None -> cs @ [ (k, v) ])
-                r.rcounters e.counters
-          }
-        , first )
-      in
-      let fresh =
-        ( { rpath = e.path; rdepth = e.depth; calls = 0; total_ms = 0.0
-          ; self_ms = 0.0; rcounters = []
-          }
-        , e.start_us )
-      in
-      Hashtbl.replace acc e.path
-        (merge (try Hashtbl.find acc e.path with Not_found -> fresh)))
-    (events ());
-  Hashtbl.fold (fun _ rf l -> rf :: l) acc []
-  |> List.sort (fun (ra, fa) (rb, fb) ->
-         match Float.compare fa fb with
-         | 0 -> Int.compare ra.rdepth rb.rdepth
-         | c -> c)
-  |> List.map fst
+module Recorder = struct
+  type t =
+    { mutable on : bool
+    ; mutable clock : unit -> float
+    ; mutable epoch : float
+    ; mutable generation : int
+    ; lock : Mutex.t
+    ; mutable finished : event list  (* reverse completion order *)
+    ; globals : (string, int) Hashtbl.t
+    ; stacks : (int * int, frame list ref) Hashtbl.t
+      (* keyed by (domain id, thread id): each execution context owns
+         one stack.  Entries persist until [reset]; a handful of stale
+         keys is cheaper than precise cleanup on every span exit. *)
+    }
 
-let pp_counters ppf cs =
-  List.iter (fun (k, v) -> Format.fprintf ppf " %s=%d" k v) cs
+  let create ?(clock = Unix.gettimeofday) () =
+    { on = false
+    ; clock
+    ; epoch = 0.0
+    ; generation = 0
+    ; lock = Mutex.create ()
+    ; finished = []
+    ; globals = Hashtbl.create 32
+    ; stacks = Hashtbl.create 8
+    }
 
-let pp_summary ppf () =
-  let rows = stage_table () in
-  let wall =
-    List.fold_left
-      (fun a r -> if r.rdepth = 0 then a +. r.total_ms else a)
-      0.0 rows
-  in
-  Format.fprintf ppf "%-28s %6s %9s %9s %6s  %s@."
-    "stage" "calls" "total ms" "self ms" "%" "counters";
-  List.iter
-    (fun r ->
-      let indent = String.make (2 * r.rdepth) ' ' in
-      Format.fprintf ppf "%-28s %6d %9.2f %9.2f %5.1f%% %a@."
-        (indent ^ (match String.rindex_opt r.rpath '.' with
-                  | Some i -> String.sub r.rpath (i + 1) (String.length r.rpath - i - 1)
-                  | None -> r.rpath))
-        r.calls r.total_ms r.self_ms
-        (if wall > 0.0 then 100.0 *. r.total_ms /. wall else 0.0)
-        pp_counters r.rcounters)
-    rows;
-  match totals () with
-  | [] -> ()
-  | ts -> Format.fprintf ppf "counters:%a@." pp_counters ts
+  let locked t f = Mutex.protect t.lock f
 
-(* --- Chrome trace-event export --- *)
+  let ctx () = ((Domain.self () :> int), Thread.id (Thread.self ()))
 
-let chrome_trace () =
-  let span_events =
-    List.map
-      (fun e ->
-        let base =
-          [ ("name", Json.Str e.path)
-          ; ("cat", Json.Str "scc")
-          ; ("ph", Json.Str "X")
-          ; ("ts", Json.Num e.start_us)
-          ; ("dur", Json.Num e.dur_us)
-          ; ("pid", Json.Num 1.0)
-          ; ("tid", Json.Num (float_of_int (e.tid + 1)))
-          ]
+  let stack t =
+    let k = ctx () in
+    locked t (fun () ->
+        match Hashtbl.find_opt t.stacks k with
+        | Some r -> r
+        | None ->
+          let r = ref [] in
+          Hashtbl.add t.stacks k r;
+          r)
+
+  let enabled t = t.on
+
+  let enable t =
+    if t.epoch = 0.0 then t.epoch <- t.clock ();
+    t.on <- true
+
+  let disable t = t.on <- false
+  let set_clock t f = t.clock <- f
+
+  let reset t =
+    locked t (fun () ->
+        t.finished <- [];
+        Hashtbl.reset t.globals;
+        (* orphan every open frame: their captured stack refs survive,
+           but a bumped generation keeps their finish from recording *)
+        Hashtbl.reset t.stacks;
+        t.generation <- t.generation + 1);
+    t.epoch <- t.clock ()
+
+  let span t name f =
+    if not t.on then f ()
+    else begin
+      let stack = stack t in
+      match !stack with
+      | top :: _ when top.fname = name ->
+        (* re-entrant: a span opened inside a same-named span merges with
+           it, so a pass manager wrapping "drc" around a checker that
+           already opens "drc" yields one stage row, not "drc.drc" *)
+        f ()
+      | _ ->
+        let parent = match !stack with [] -> None | p :: _ -> Some p in
+        let fpath =
+          match parent with None -> name | Some p -> p.fpath ^ "." ^ name
         in
-        Json.Obj
-          (match e.counters with
-          | [] -> base
-          | cs ->
-            base
-            @ [ ( "args"
-                , Json.Obj
-                    (List.map (fun (k, v) -> (k, Json.Num (float_of_int v))) cs)
-                )
-              ]))
-      (events ())
-  in
-  let t_end =
-    List.fold_left
-      (fun a e -> Float.max a (e.start_us +. e.dur_us))
-      0.0 (events ())
-  in
-  let counter_events =
-    List.map
-      (fun (k, v) ->
-        Json.Obj
-          [ ("name", Json.Str k)
-          ; ("ph", Json.Str "C")
-          ; ("ts", Json.Num t_end)
-          ; ("pid", Json.Num 1.0)
-          ; ("args", Json.Obj [ (k, Json.Num (float_of_int v)) ])
-          ])
-      (totals ())
-  in
-  Json.to_string
-    (Json.Obj
-       [ ("traceEvents", Json.Arr (span_events @ counter_events))
-       ; ("displayTimeUnit", Json.Str "ms")
-       ])
+        let fdepth = match parent with None -> 0 | Some p -> p.fdepth + 1 in
+        let fr =
+          { fname = name; fpath; fdepth; fstart = t.clock ()
+          ; fgen = t.generation; fcounters = []; fchildren = 0.0
+          }
+        in
+        stack := fr :: !stack;
+        let finish () =
+          let dur = t.clock () -. fr.fstart in
+          (match !stack with
+          | top :: rest when top == fr -> stack := rest
+          | _ -> ());
+          (match !stack with
+          | p :: _ -> p.fchildren <- p.fchildren +. dur
+          | [] -> ());
+          let e =
+            { path = fr.fpath
+            ; name = fr.fname
+            ; depth = fr.fdepth
+            ; tid = (Domain.self () :> int)
+            ; start_us = (fr.fstart -. t.epoch) *. 1e6
+            ; dur_us = dur *. 1e6
+            ; self_us = (dur -. fr.fchildren) *. 1e6
+            ; counters = List.rev fr.fcounters
+            }
+          in
+          locked t (fun () ->
+              if fr.fgen = t.generation then t.finished <- e :: t.finished)
+        in
+        (match f () with
+        | r ->
+          finish ();
+          r
+        | exception e ->
+          finish ();
+          raise e)
+    end
 
-let write_trace path =
-  let oc = open_out path in
+  let bump_frame fr name v ~add =
+    match List.assoc_opt name fr.fcounters with
+    | Some _ ->
+      fr.fcounters <-
+        List.map
+          (fun (k, x) ->
+            if k = name then (k, if add then x + v else v) else (k, x))
+          fr.fcounters
+    | None -> fr.fcounters <- (name, v) :: fr.fcounters
+
+  let bump_global t name v ~add =
+    locked t (fun () ->
+        let old = try Hashtbl.find t.globals name with Not_found -> 0 in
+        Hashtbl.replace t.globals name (if add then old + v else v))
+
+  let bump t name v ~add =
+    if t.on then begin
+      (match !(stack t) with
+      | fr :: _ -> bump_frame fr name v ~add
+      | [] -> ());
+      bump_global t name v ~add
+    end
+
+  let count t name n = bump t name n ~add:true
+  let gauge t name v = bump t name v ~add:false
+
+  let events t =
+    List.sort
+      (fun a b -> Float.compare a.start_us b.start_us)
+      (locked t (fun () -> List.rev t.finished))
+
+  let totals t =
+    locked t (fun () -> Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.globals [])
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+  (* --- per-stage aggregation --- *)
+
+  let stage_table t =
+    let acc : (string, row * float) Hashtbl.t = Hashtbl.create 16 in
+    List.iter
+      (fun e ->
+        let merge (r, first) =
+          ( { r with
+              calls = r.calls + 1
+            ; total_ms = r.total_ms +. (e.dur_us /. 1e3)
+            ; self_ms = r.self_ms +. (e.self_us /. 1e3)
+            ; rcounters =
+                List.fold_left
+                  (fun cs (k, v) ->
+                    match List.assoc_opt k cs with
+                    | Some old ->
+                      List.map
+                        (fun (k', x) -> if k' = k then (k', old + v) else (k', x))
+                        cs
+                    | None -> cs @ [ (k, v) ])
+                  r.rcounters e.counters
+            }
+          , first )
+        in
+        let fresh =
+          ( { rpath = e.path; rdepth = e.depth; calls = 0; total_ms = 0.0
+            ; self_ms = 0.0; rcounters = []
+            }
+          , e.start_us )
+        in
+        Hashtbl.replace acc e.path
+          (merge (try Hashtbl.find acc e.path with Not_found -> fresh)))
+      (events t);
+    Hashtbl.fold (fun _ rf l -> rf :: l) acc []
+    |> List.sort (fun (ra, fa) (rb, fb) ->
+           match Float.compare fa fb with
+           | 0 -> Int.compare ra.rdepth rb.rdepth
+           | c -> c)
+    |> List.map fst
+
+  let pp_counters ppf cs =
+    List.iter (fun (k, v) -> Format.fprintf ppf " %s=%d" k v) cs
+
+  let pp_summary ppf t =
+    let rows = stage_table t in
+    let wall =
+      List.fold_left
+        (fun a r -> if r.rdepth = 0 then a +. r.total_ms else a)
+        0.0 rows
+    in
+    Format.fprintf ppf "%-28s %6s %9s %9s %6s  %s@."
+      "stage" "calls" "total ms" "self ms" "%" "counters";
+    List.iter
+      (fun r ->
+        let indent = String.make (2 * r.rdepth) ' ' in
+        Format.fprintf ppf "%-28s %6d %9.2f %9.2f %5.1f%% %a@."
+          (indent
+          ^
+          match String.rindex_opt r.rpath '.' with
+          | Some i -> String.sub r.rpath (i + 1) (String.length r.rpath - i - 1)
+          | None -> r.rpath)
+          r.calls r.total_ms r.self_ms
+          (if wall > 0.0 then 100.0 *. r.total_ms /. wall else 0.0)
+          pp_counters r.rcounters)
+      rows;
+    match totals t with
+    | [] -> ()
+    | ts -> Format.fprintf ppf "counters:%a@." pp_counters ts
+
+  (* --- Chrome trace-event export --- *)
+
+  let chrome_trace t =
+    let evs = events t in
+    let span_events =
+      List.map
+        (fun e ->
+          let base =
+            [ ("name", Json.Str e.path)
+            ; ("cat", Json.Str "scc")
+            ; ("ph", Json.Str "X")
+            ; ("ts", Json.Num e.start_us)
+            ; ("dur", Json.Num e.dur_us)
+            ; ("pid", Json.Num 1.0)
+            ; ("tid", Json.Num (float_of_int (e.tid + 1)))
+            ]
+          in
+          Json.Obj
+            (match e.counters with
+            | [] -> base
+            | cs ->
+              base
+              @ [ ( "args"
+                  , Json.Obj
+                      (List.map (fun (k, v) -> (k, Json.Num (float_of_int v))) cs)
+                  )
+                ]))
+        evs
+    in
+    let t_end =
+      List.fold_left (fun a e -> Float.max a (e.start_us +. e.dur_us)) 0.0 evs
+    in
+    let counter_events =
+      List.map
+        (fun (k, v) ->
+          Json.Obj
+            [ ("name", Json.Str k)
+            ; ("ph", Json.Str "C")
+            ; ("ts", Json.Num t_end)
+            ; ("pid", Json.Num 1.0)
+            ; ("args", Json.Obj [ (k, Json.Num (float_of_int v)) ])
+            ])
+        (totals t)
+    in
+    Json.to_string
+      (Json.Obj
+         [ ("traceEvents", Json.Arr (span_events @ counter_events))
+         ; ("displayTimeUnit", Json.Str "ms")
+         ])
+
+  let write_trace t path =
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () -> output_string oc (chrome_trace t))
+end
+
+(* --- ambient dispatch ---
+
+   The classic global API routes to the recorder installed for the
+   current (domain, thread) by [with_recorder], falling back to
+   [default].  The override table is consulted only when at least one
+   override is installed (tracked by an atomic counter), so a process
+   that never calls [with_recorder] — the CLI, the tests, the
+   benchmarks — pays one atomic load on top of the old cost. *)
+
+let default = Recorder.create ()
+
+let overrides : (int * int, Recorder.t) Hashtbl.t = Hashtbl.create 8
+let overrides_lock = Mutex.create ()
+let override_count = Atomic.make 0
+
+let ambient () =
+  if Atomic.get override_count = 0 then default
+  else begin
+    let k = Recorder.ctx () in
+    match
+      Mutex.protect overrides_lock (fun () -> Hashtbl.find_opt overrides k)
+    with
+    | Some r -> r
+    | None -> default
+  end
+
+let with_recorder r f =
+  let k = Recorder.ctx () in
+  let prev =
+    Mutex.protect overrides_lock (fun () ->
+        let prev = Hashtbl.find_opt overrides k in
+        Hashtbl.replace overrides k r;
+        if prev = None then Atomic.incr override_count;
+        prev)
+  in
   Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> output_string oc (chrome_trace ()))
+    ~finally:(fun () ->
+      Mutex.protect overrides_lock (fun () ->
+          match prev with
+          | None ->
+            Hashtbl.remove overrides k;
+            Atomic.decr override_count
+          | Some p -> Hashtbl.replace overrides k p))
+    f
+
+(* --- the global API, a shim over the ambient recorder --- *)
+
+let enabled () = Recorder.enabled (ambient ())
+let enable () = Recorder.enable (ambient ())
+let disable () = Recorder.disable (ambient ())
+let reset () = Recorder.reset (ambient ())
+let set_clock f = Recorder.set_clock (ambient ()) f
+let span name f = Recorder.span (ambient ()) name f
+let count name n = Recorder.count (ambient ()) name n
+let gauge name v = Recorder.gauge (ambient ()) name v
+let events () = Recorder.events (ambient ())
+let totals () = Recorder.totals (ambient ())
+let stage_table () = Recorder.stage_table (ambient ())
+let pp_summary ppf () = Recorder.pp_summary ppf (ambient ())
+let chrome_trace () = Recorder.chrome_trace (ambient ())
+let write_trace path = Recorder.write_trace (ambient ()) path

@@ -5,24 +5,36 @@
     Every compilation stage wraps its work in {!span} and reports sizes
     through {!count}/{!gauge} ("gates", "bdd.nodes", "cif.rects",
     "route.tracks", ...).  Instrumentation is free when disabled: each
-    entry point is a single branch on one flag, so the hot paths the
-    Bechamel micro-benchmarks measure are unaffected until someone asks
-    for data (`scc ... --stats --trace out.json`, or
-    `bench/main.exe -- profile`).
+    entry point is a single branch on one flag (plus one atomic load
+    for the ambient-recorder lookup), so the hot paths the Bechamel
+    micro-benchmarks measure are unaffected until someone asks for data
+    (`scc ... --stats --trace out.json`, or `bench/main.exe --
+    profile`).
 
-    The module is deliberately global (one recorder per process): the
-    compiler's stages live in many libraries and threading a handle
-    through every signature would make the instrumentation the loudest
-    thing in the code.  Spans nest by dynamic scope: a span opened while
-    another is running becomes its child, and its path is the
-    dot-joined ancestry (["place"] inside nothing, ["route.channel"]
-    for a channel routed during the route stage).
+    Recording state lives in {!Recorder.t} instances.  The module-level
+    functions are a compatibility shim over the {e ambient} recorder:
+    {!default} unless {!with_recorder} installed another one for the
+    current (domain, thread).  Single-shot tools use the global API and
+    never notice; the serve daemon gives every request its own recorder
+    via {!with_recorder}, so instrumented compiles record concurrently
+    without sharing a single event buffer.  The ~60 instrumentation
+    sites across the compiler libraries keep calling the global
+    {!span}/{!count}/{!gauge} — attribution is decided by whoever
+    installed the recorder above them on the stack, not by threading a
+    handle through every signature.
 
-    The recorder is domain-safe: the span stack is domain-local, so
-    spans opened on an [Sc_par] worker domain nest within that domain
-    and carry its {!event.tid}; the Chrome trace shows one track per
-    domain.  Completed events and global counters are shared under a
-    mutex.
+    Spans nest by dynamic scope: a span opened while another is running
+    becomes its child, and its path is the dot-joined ancestry
+    (["place"] inside nothing, ["route.channel"] for a channel routed
+    during the route stage).
+
+    Each recorder is domain- and thread-safe: span stacks are keyed by
+    (domain, thread), so spans opened on an [Sc_par] worker domain nest
+    within that domain and carry its {!event.tid}; the Chrome trace
+    shows one track per domain.  Completed events and global counters
+    are shared per recorder, under its mutex.  [Sc_par.Pool] workers
+    inherit the submitter's ambient recorder, so counters bumped inside
+    pool tasks land in the recorder of the request that spawned them.
 
     Two sinks:
 
@@ -34,7 +46,85 @@
       become complete ("ph":"X") events with their counters as [args],
       global counters become counter ("ph":"C") tracks. *)
 
-(** {2 Switch} *)
+(** {2 Events and rows} *)
+
+(** One completed span occurrence. *)
+type event =
+  { path : string  (** dot-joined ancestry, e.g. ["place"] or ["route.channel"] *)
+  ; name : string  (** the name passed to {!span} *)
+  ; depth : int  (** 0 = top level *)
+  ; tid : int  (** id of the domain that recorded the span (0 = main) *)
+  ; start_us : float  (** microseconds since the epoch ({!reset}) *)
+  ; dur_us : float
+  ; self_us : float  (** [dur_us] minus time spent in child spans *)
+  ; counters : (string * int) list  (** counts attributed to this occurrence *)
+  }
+
+(** One aggregated row of the per-stage summary. *)
+type row =
+  { rpath : string
+  ; rdepth : int
+  ; calls : int
+  ; total_ms : float
+  ; self_ms : float
+  ; rcounters : (string * int) list  (** summed over the path's occurrences *)
+  }
+
+(** {2 Recorder instances} *)
+
+module Recorder : sig
+  type t
+  (** An independent recording: its own enabled flag, clock, epoch,
+      span stacks, event buffer and counter table.  Values are safe to
+      share across domains and threads. *)
+
+  val create : ?clock:(unit -> float) -> unit -> t
+  (** A fresh, disabled recorder.  [clock] defaults to
+      [Unix.gettimeofday]. *)
+
+  val enabled : t -> bool
+  val enable : t -> unit
+  val disable : t -> unit
+
+  val reset : t -> unit
+  (** Drop all events and counters and restamp the epoch.  Safe while
+      spans are open — even on other threads: frames opened before the
+      reset are orphaned (their exit unwinds normally but records
+      nothing), so the event buffer and the span stacks can never
+      disagree about what the current recording contains. *)
+
+  val set_clock : t -> (unit -> float) -> unit
+
+  val span : t -> string -> (unit -> 'a) -> 'a
+  val count : t -> string -> int -> unit
+  val gauge : t -> string -> int -> unit
+
+  val events : t -> event list
+  val totals : t -> (string * int) list
+  val stage_table : t -> row list
+  val pp_summary : Format.formatter -> t -> unit
+  val chrome_trace : t -> string
+  val write_trace : t -> string -> unit
+end
+
+val default : Recorder.t
+(** The process-wide recorder the global API uses when no override is
+    installed. *)
+
+val ambient : unit -> Recorder.t
+(** The recorder the global API currently routes to on this
+    (domain, thread): the innermost {!with_recorder}, else
+    {!default}. *)
+
+val with_recorder : Recorder.t -> (unit -> 'a) -> 'a
+(** [with_recorder r f] runs [f] with [r] installed as the ambient
+    recorder for the current (domain, thread); restores the previous
+    ambient recorder afterwards (also on exceptions).  Overrides are
+    per-context: other threads are unaffected, which is what lets one
+    daemon process record overlapping requests into disjoint
+    recorders. *)
+
+(** {2 Switch (ambient recorder)} *)
 
 val enabled : unit -> bool
 
@@ -47,14 +137,15 @@ val disable : unit -> unit
 
 val reset : unit -> unit
 (** Drop all events and counters and restamp the epoch (does not change
-    the enabled flag). *)
+    the enabled flag).  See {!Recorder.reset} for the live-span
+    semantics. *)
 
 val set_clock : (unit -> float) -> unit
 (** Replace the time source (seconds, arbitrary epoch, must be
     monotone non-decreasing).  The default is [Unix.gettimeofday];
     [bench/main.exe] installs Bechamel's [CLOCK_MONOTONIC] stub. *)
 
-(** {2 Recording} *)
+(** {2 Recording (ambient recorder)} *)
 
 val span : string -> (unit -> 'a) -> 'a
 (** [span name f] runs [f ()], timing it as one hierarchical span.  The
@@ -62,7 +153,7 @@ val span : string -> (unit -> 'a) -> 'a
     A single branch when disabled.
 
     Re-entrant spans merge: opening [span "x"] while the innermost open
-    span on this domain is already named ["x"] does not start a child —
+    span on this context is already named ["x"] does not start a child —
     [f] runs inside the existing frame.  This keeps stage paths stable
     when a driver (e.g. {!Sc_pipeline.Pipeline.run}) wraps a uniform
     span around code that opens its own identically-named span: the
@@ -78,35 +169,13 @@ val gauge : string -> int -> unit
     for absolute quantities like "gates" or "bdd.nodes" where adding
     across stages would be meaningless. *)
 
-(** {2 Inspection} *)
-
-(** One completed span occurrence. *)
-type event =
-  { path : string  (** dot-joined ancestry, e.g. ["place"] or ["route.channel"] *)
-  ; name : string  (** the name passed to {!span} *)
-  ; depth : int  (** 0 = top level *)
-  ; tid : int  (** id of the domain that recorded the span (0 = main) *)
-  ; start_us : float  (** microseconds since the epoch ({!reset}) *)
-  ; dur_us : float
-  ; self_us : float  (** [dur_us] minus time spent in child spans *)
-  ; counters : (string * int) list  (** counts attributed to this occurrence *)
-  }
+(** {2 Inspection (ambient recorder)} *)
 
 val events : unit -> event list
 (** All completed spans, in start order. *)
 
 val totals : unit -> (string * int) list
 (** Global counter/gauge values, sorted by name. *)
-
-(** One aggregated row of the per-stage summary. *)
-type row =
-  { rpath : string
-  ; rdepth : int
-  ; calls : int
-  ; total_ms : float
-  ; self_ms : float
-  ; rcounters : (string * int) list  (** summed over the path's occurrences *)
-  }
 
 val stage_table : unit -> row list
 (** Events aggregated by path, ordered so children follow their parent

@@ -1,7 +1,9 @@
 (* The queue holds erased thunks; each [run] allocates its own result
-   slots and completion counter, so several runs could in principle be
-   in flight (they are not, today: the caller of [run] blocks until its
-   batch settles, helping with the work meanwhile). *)
+   slots and completion counter, so several runs can be in flight at
+   once — the serve daemon submits from concurrent request domains.
+   Each caller blocks until its own batch settles, helping with the
+   work (anyone's work: a helping caller may execute another batch's
+   tasks) meanwhile. *)
 
 type t =
   { pool_size : int
@@ -80,8 +82,19 @@ type 'a slot =
 let run ?(label = "par.task") t thunks =
   let thunks = Array.of_list thunks in
   let n = Array.length thunks in
-  let obs = Sc_obs.Obs.enabled () in
-  let exec f = if obs then Sc_obs.Obs.span label f else f () in
+  (* tasks inherit the submitter's ambient recorder: whoever executes a
+     task — a worker domain, or another run's caller helping via
+     [try_step] — records its spans and counters into the recorder of
+     the run that submitted it, not into its own.  Skipped when the
+     submitter is on the default recorder so the single-shot CLI path
+     pays nothing. *)
+  let amb = Sc_obs.Obs.ambient () in
+  let obs = Sc_obs.Obs.Recorder.enabled amb in
+  let exec f =
+    let f = if obs then fun () -> Sc_obs.Obs.span label f else f in
+    if amb == Sc_obs.Obs.default then f ()
+    else Sc_obs.Obs.with_recorder amb f
+  in
   if obs then Sc_obs.Obs.gauge "pool.width" t.pool_size;
   if t.pool_size <= 1 || n <= 1 then begin
     (* sequential path: no queueing, natural exception propagation *)

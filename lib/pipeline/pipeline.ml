@@ -106,7 +106,39 @@ let cache_enabled () = config.cenabled
 
 let enable_certify () = config.ccertify <- true
 let disable_certify () = config.ccertify <- false
-let certify_enabled () = config.ccertify
+
+(* The process-global flag can be overridden per (domain, thread): the
+   serve daemon decides certification per request, and concurrent
+   requests must not see each other's choice.  The override is scoped
+   by [with_certify] and consulted by every [run] on that context. *)
+let cert_overrides : (int * int, bool) Hashtbl.t = Hashtbl.create 8
+let cert_lock = Mutex.create ()
+
+let ckey () = ((Domain.self () :> int), Thread.id (Thread.self ()))
+
+let with_certify on f =
+  let k = ckey () in
+  let prev =
+    Mutex.protect cert_lock (fun () ->
+        let prev = Hashtbl.find_opt cert_overrides k in
+        Hashtbl.replace cert_overrides k on;
+        prev)
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Mutex.protect cert_lock (fun () ->
+          match prev with
+          | None -> Hashtbl.remove cert_overrides k
+          | Some p -> Hashtbl.replace cert_overrides k p))
+    f
+
+let certify_enabled () =
+  match
+    Mutex.protect cert_lock (fun () ->
+        Hashtbl.find_opt cert_overrides (ckey ()))
+  with
+  | Some on -> on
+  | None -> config.ccertify
 
 let clear_caches () =
   Mutex.protect reg_lock (fun () -> List.iter (fun r -> r.rclear ()) !registry)
@@ -170,7 +202,7 @@ let status_key = function
   | Failed -> "failed"
 
 (* One journal per (domain, thread): concurrent compiles — the serve
-   daemon runs one per connection thread — each see only their own
+   daemon runs one per request domain — each see only their own
    pass outcomes through [log]/[pp_explain].  Entries are kept in
    reverse order. *)
 let journals : (int * int, (string * status) list ref) Hashtbl.t =
@@ -224,7 +256,7 @@ let emit_certificate name s us =
   Obs.count "equiv.certificate_us" us;
   Obs.count ("pipeline." ^ name ^ ".certified") 1
 
-let run ?(param = "") pass input =
+let run_ambient ~param pass input =
   let out_key =
     Cache.digest
       (pass.name ^ "#" ^ string_of_int pass.version ^ "|" ^ param ^ "|"
@@ -244,7 +276,7 @@ let run ?(param = "") pass input =
   in
   let certification v =
     match pass.certify with
-    | Some check when config.ccertify ->
+    | Some check when certify_enabled () ->
       let t0 = Unix.gettimeofday () in
       let finish s =
         let us = int_of_float ((Unix.gettimeofday () -. t0) *. 1e6) in
@@ -315,3 +347,8 @@ let run ?(param = "") pass input =
           ok Ran v
         | Error d -> failed d)
       | Error d -> failed d))
+
+let run ?(param = "") ?recorder pass input =
+  match recorder with
+  | None -> run_ambient ~param pass input
+  | Some r -> Obs.with_recorder r (fun () -> run_ambient ~param pass input)

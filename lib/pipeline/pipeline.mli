@@ -123,12 +123,24 @@ val register :
     disk layer. *)
 
 val run :
-  ?param:string -> ('a, 'b) pass -> 'a staged -> ('b staged, Diag.t) result
+  ?param:string ->
+  ?recorder:Sc_obs.Obs.Recorder.t ->
+  ('a, 'b) pass ->
+  'a staged ->
+  ('b staged, Diag.t) result
 (** Run a pass on a staged input: derive the output key, consult the
     pass's cache (when enabled), execute inside an Obs span on a miss,
     certify the artifact (when enabled and the pass has a hook),
     record the outcome in the run log.  Errors — including certificate
-    refusals — are returned as values and never enter the cache. *)
+    refusals — are returned as values and never enter the cache.
+
+    [recorder] runs the pass with that {!Sc_obs.Obs.Recorder.t}
+    installed as the ambient recorder (see
+    {!Sc_obs.Obs.with_recorder}): its span, counters and replay output
+    land there instead of in the caller's ambient one.  Omitted, the
+    caller's ambient recorder applies — which is how the serve daemon
+    attributes a whole compile to a per-request recorder with one
+    [with_recorder] at the top. *)
 
 (** {2 Cache control} *)
 
@@ -150,7 +162,18 @@ val enable_certify : unit -> unit
     in per-pass ["<name>.cert"] stores when the stage cache is on. *)
 
 val disable_certify : unit -> unit
+
+val with_certify : bool -> (unit -> 'a) -> 'a
+(** [with_certify on f] runs [f] with certification forced to [on] for
+    the calling (domain, thread) only, restoring the previous scope
+    afterwards (also on exceptions).  Overrides nest.  The serve daemon
+    wraps each request in this so one connection's [--certify] cannot
+    leak into a concurrent compile — unlike {!enable_certify}, which is
+    process-global. *)
+
 val certify_enabled : unit -> bool
+(** Whether {!run} will certify on this (domain, thread): the innermost
+    {!with_certify} if any, else the process-global flag. *)
 
 val clear_caches : unit -> unit
 (** Drop every pass's in-memory store and its counters (disk entries

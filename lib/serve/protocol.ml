@@ -86,12 +86,19 @@ type compiled =
   ; passes : (string * string) list
   }
 
+type stats_payload =
+  { counters : (string * int) list
+  ; uptime_s : int option  (* absent on pre-telemetry daemons *)
+  ; server_version : string option  (* ditto *)
+  ; verbs : (string * int) list  (* per-verb request counts; may be empty *)
+  }
+
 type response =
   | Compiled of compiled
   | Reported of string
   | Diffed of { report : string; regressed : bool }
   | Equiv_verdict of { equivalent : bool; detail : string }
-  | Stats_reply of (string * int) list
+  | Stats_reply of stats_payload
   | Bye
   | Error_reply of { stage : string; message : string }
 
@@ -152,11 +159,18 @@ let json_of_response = function
       [ ("t", Json.Str "equiv"); ("equivalent", Json.Bool equivalent)
       ; ("detail", Json.Str detail)
       ]
-  | Stats_reply kvs ->
+  | Stats_reply { counters; uptime_s; server_version; verbs } ->
+    (* optional fields are omitted when absent, and the decoder
+       tolerates their absence — same compatibility discipline as the
+       [certify] spec field *)
+    let ints kvs = Json.Obj (List.map (fun (k, v) -> (k, num v)) kvs) in
     Json.Obj
-      [ ("t", Json.Str "stats")
-      ; ("counters", Json.Obj (List.map (fun (k, v) -> (k, num v)) kvs))
-      ]
+      ([ ("t", Json.Str "stats"); ("counters", ints counters) ]
+      @ (match uptime_s with Some u -> [ ("uptime_s", num u) ] | None -> [])
+      @ (match server_version with
+        | Some v -> [ ("version", Json.Str v) ]
+        | None -> [])
+      @ match verbs with [] -> [] | vs -> [ ("verbs", ints vs) ])
   | Bye -> Json.Obj [ ("t", Json.Str "bye") ]
   | Error_reply { stage; message } ->
     Json.Obj
@@ -267,19 +281,42 @@ let response_of_json j =
     let* equivalent = bool_field "equivalent" j in
     let* detail = str_field "detail" j in
     Ok (Equiv_verdict { equivalent; detail })
-  | "stats" -> (
-    match Json.member "counters" j with
-    | Some (Json.Obj kvs) ->
-      List.fold_left
-        (fun acc (k, v) ->
-          let* acc = acc in
-          match v with
-          | Json.Num f when Float.is_integer f ->
-            Ok ((k, int_of_float f) :: acc)
-          | _ -> Error (Printf.sprintf "non-integer counter %S" k))
-        (Ok []) kvs
-      |> Result.map (fun kvs -> Stats_reply (List.rev kvs))
-    | _ -> Error "missing or non-object field \"counters\"")
+  | "stats" ->
+    let ints name = function
+      | Some (Json.Obj kvs) ->
+        List.fold_left
+          (fun acc (k, v) ->
+            let* acc = acc in
+            match v with
+            | Json.Num f when Float.is_integer f ->
+              Ok ((k, int_of_float f) :: acc)
+            | _ -> Error (Printf.sprintf "non-integer %s %S" name k))
+          (Ok []) kvs
+        |> Result.map List.rev
+      | Some _ -> Error (Printf.sprintf "non-object field %S" name)
+      | None -> Error (Printf.sprintf "missing field %S" name)
+    in
+    let* counters = ints "counters" (Json.member "counters" j) in
+    (* the three telemetry fields are absent on pre-telemetry daemons:
+       decode to None/[] rather than failing *)
+    let* uptime_s =
+      match Json.member "uptime_s" j with
+      | None -> Ok None
+      | Some (Json.Num f) when Float.is_integer f -> Ok (Some (int_of_float f))
+      | Some _ -> Error "non-integer field \"uptime_s\""
+    in
+    let* server_version =
+      match Json.member "version" j with
+      | None -> Ok None
+      | Some (Json.Str v) -> Ok (Some v)
+      | Some _ -> Error "non-string field \"version\""
+    in
+    let* verbs =
+      match Json.member "verbs" j with
+      | None -> Ok []
+      | present -> ints "verbs" present
+    in
+    Ok (Stats_reply { counters; uptime_s; server_version; verbs })
   | "bye" -> Ok Bye
   | "error" ->
     let* stage = str_field "stage" j in

@@ -79,12 +79,27 @@ type compiled =
       (** per-pass outcome, e.g. [("place", "hit (memory)")] *)
   }
 
+(** The [Stats] answer.  [counters] carries the server and cache
+    counters plus the per-verb latency distribution
+    (["latency.<verb>.count"/".p50_us"/".p95_us"/".p99_us"]).
+    [uptime_s], [server_version] (wire field ["version"]) and [verbs]
+    (requests decoded per verb) were added by the telemetry protocol
+    bump: they are omitted from the wire when absent and decode as
+    [None]/[[]] when a pre-telemetry daemon answers — the same
+    compatibility discipline as {!compile_spec.certify}. *)
+type stats_payload =
+  { counters : (string * int) list
+  ; uptime_s : int option
+  ; server_version : string option
+  ; verbs : (string * int) list
+  }
+
 type response =
   | Compiled of compiled
   | Reported of string  (** rendered {!Sc_metrics.Metrics.pp_snapshot} *)
   | Diffed of { report : string; regressed : bool }
   | Equiv_verdict of { equivalent : bool; detail : string }
-  | Stats_reply of (string * int) list
+  | Stats_reply of stats_payload
   | Bye  (** acknowledges [Shutdown] *)
   | Error_reply of { stage : string; message : string }
       (** a {!Sc_pipeline.Diag.t} (or protocol error) as a value *)

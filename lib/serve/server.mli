@@ -2,48 +2,79 @@
 
     [run] binds a Unix domain socket and serves {!Protocol} frames until
     a [Shutdown] request or (by default) SIGTERM/SIGINT.  Each
-    connection gets its own lightweight thread; the threads spend their
-    lives in socket I/O and hand actual compilations to one shared
-    execution path, so the process-global pass manager
-    ({!Sc_pipeline.Pipeline}), its content-addressed stage cache
-    ({!Sc_cache.Cache}, sharded on disk when [stage_cache] is given) and
-    the {!Sc_par.Pool} worker domains are shared by every client — the
-    second client to ask for a design pays cache-hit prices for work the
-    first one caused.
+    connection gets its own lightweight thread for socket I/O; each
+    {e execution} (a compile or equiv the dedup table didn't already
+    have in flight) runs on its own freshly spawned domain, so the
+    process-global pass manager ({!Sc_pipeline.Pipeline}), its
+    content-addressed stage cache ({!Sc_cache.Cache}, sharded on disk
+    when [stage_cache] is given) and the {!Sc_par.Pool} worker domains
+    are shared by every client — the second client to ask for a design
+    pays cache-hit prices for work the first one caused.
 
     {2 Deduplication}
 
-    Requests are keyed on [digest (style | restarts | source)].  While a
-    compilation for a key is in flight, further requests for the same
-    key do not execute: they wait on the first one and share its result
-    (the server's [dedup_hits] counter records each such join).  Two
-    clients saving the same file and recompiling cost one pipeline
-    execution.
+    Requests are keyed on [digest (style | restarts | certify |
+    source)].  While a compilation for a key is in flight, further
+    requests for the same key do not execute: they wait on the first
+    one and share its result (the server's [dedup_hits] counter records
+    each such join).  Two clients saving the same file and recompiling
+    cost one pipeline execution.
 
     {2 Observability}
 
-    The process-global {!Sc_obs.Obs} recorder is session-scoped by the
-    server: each executed compilation resets and enables it, runs the
-    pipeline, and captures an {!Sc_metrics.Metrics} snapshot before the
-    next request may use it (executions are serialized on a dedicated
-    lock; connection handling and cache-hit waiters stay concurrent).
-    Snapshots are therefore exactly what single-shot
-    [scc isp D --metrics] produces — byte-identical QoR — which is what
-    bench e14 and the serve-smoke CI job assert.  Server-level counters
-    (requests, in-flight, dedup hits, executions) live outside the
-    recorder and are served by the [Stats] verb. *)
+    Every execution gets its own {!Sc_obs.Obs.Recorder.t}, installed as
+    the ambient recorder for its domain ({!Sc_obs.Obs.with_recorder}),
+    so instrumented compiles overlap — there is no shared recorder
+    state and no lock serializing executions (the [obs_lock] of earlier
+    versions is gone).  Certification is scoped the same way
+    ({!Sc_pipeline.Pipeline.with_certify}): one request's [--certify]
+    never leaks into a concurrent compile.  The per-request sequence —
+    fresh recorder, compile, {!Sc_metrics.Metrics.capture} — is exactly
+    what single-shot [scc isp D --metrics] does, so daemon snapshots
+    stay byte-identical QoR to the committed baselines even under
+    concurrency, which bench e16 and the serve-smoke CI job assert.
+    Executions are throttled by [exec_domains] slots; the high-water
+    mark of concurrently running executions is served as
+    [serve.peak_executions].
+
+    {2 Telemetry}
+
+    Three sinks, all optional and all off the execution path:
+
+    - {e histograms}: per-verb request latency in log-bucketed
+      {!Sc_obs.Histogram}s, served by the [Stats] verb as
+      [latency.<verb>.count/.p50_us/.p95_us/.p99_us] alongside
+      [uptime_s], the server version and per-verb request counts;
+    - {e structured log} ([log]/[log_level]): a leveled JSONL stream,
+      one object per line — per request: verb, design, digest, status,
+      duration, dedup/cache/certify outcome; plus lifecycle events
+      (start/stop at info, connect/disconnect at debug);
+    - {e sampled traces} ([trace_dir]/[trace_sample]): the first N of
+      every M executions write their recorder's Chrome trace to
+      [trace_dir/<seq>-<design>-<digest>.trace.json], so production
+      traffic yields traces without paying for every request. *)
 
 type stats =
   { requests : int  (** frames answered since startup *)
   ; in_flight : int  (** requests currently being handled *)
   ; dedup_hits : int  (** requests that joined an in-flight execution *)
   ; executions : int  (** pipeline runs actually performed *)
+  ; peak_executions : int
+        (** high-water mark of concurrently running executions *)
   }
+
+val server_version : string
+(** Identifies the daemon generation in the [Stats] reply. *)
 
 val run :
   ?jobs:int ->
   ?stage_cache:string ->
   ?handle_signals:bool ->
+  ?exec_domains:int ->
+  ?log:string ->
+  ?log_level:Sc_obs.Slog.level ->
+  ?trace_dir:string ->
+  ?trace_sample:int * int ->
   socket:string ->
   unit ->
   int
@@ -53,4 +84,11 @@ val run :
     [stage_cache] persists pass artifacts under the given directory so
     a restarted daemon comes back warm; [handle_signals] (default
     [true]) installs SIGTERM/SIGINT handlers for clean shutdown — pass
-    [false] when embedding the server in a test or bench thread. *)
+    [false] when embedding the server in a test or bench thread.
+
+    [exec_domains] bounds concurrently running executions (default
+    [max 2 (Domain.recommended_domain_count ())]).  [log] appends the
+    JSONL structured log to a file, filtered at [log_level] (default
+    [Info]).  [trace_dir] enables per-execution Chrome traces, sampled
+    [trace_sample = (n, m)]: the first [n] of every [m] executions
+    (default [(1, 1)] — every execution). *)

@@ -1,6 +1,7 @@
 (* lib/metrics: QoR snapshots, JSON roundtrip, diff classification and
-   the quality gate.  The Obs recorder is process-global, so every test
-   that captures disables and resets it on the way out. *)
+   the quality gate.  These tests capture from the shared default
+   recorder, so every test that captures disables and resets it on the
+   way out. *)
 
 module Obs = Sc_obs.Obs
 module M = Sc_metrics.Metrics

@@ -1,6 +1,8 @@
 (* lib/obs: spans, counters, the stage table and Chrome trace export.
-   The recorder is process-global, so every test disables and resets it
-   on the way out. *)
+   These tests drive the global API, which is a shim over the default
+   Recorder instance — so every test disables and resets it on the way
+   out.  Recorder isolation, ambient dispatch and reset-under-live-span
+   are covered at the bottom. *)
 
 module Obs = Sc_obs.Obs
 module Json = Sc_obs.Json
@@ -190,6 +192,96 @@ let test_compiler_stages () =
         (List.assoc_opt key totals <> None))
     [ "gates"; "transistors"; "route.tracks"; "cif.bytes"; "drc.violations" ]
 
+(* --- recorder instances: isolation, ambient dispatch, reset safety --- *)
+
+let test_recorder_isolation () =
+  let a = Obs.Recorder.create () in
+  let b = Obs.Recorder.create () in
+  Obs.Recorder.enable a;
+  Obs.Recorder.enable b;
+  Obs.with_recorder a (fun () ->
+      Obs.span "work" (fun () -> Obs.count "gates" 3));
+  Obs.with_recorder b (fun () ->
+      Obs.span "work" (fun () -> Obs.count "gates" 5);
+      Obs.span "extra" (fun () -> ()));
+  Alcotest.(check int) "a has one event" 1
+    (List.length (Obs.Recorder.events a));
+  Alcotest.(check int) "b has two events" 2
+    (List.length (Obs.Recorder.events b));
+  Alcotest.(check (option int)) "a's counter" (Some 3)
+    (List.assoc_opt "gates" (Obs.Recorder.totals a));
+  Alcotest.(check (option int)) "b's counter" (Some 5)
+    (List.assoc_opt "gates" (Obs.Recorder.totals b));
+  (* the default instance saw nothing *)
+  Alcotest.(check int) "default untouched" 0
+    (List.length (Obs.Recorder.events Obs.default))
+
+let test_ambient_dispatch () =
+  (* inside with_recorder the global API routes to that instance; the
+     override is scoped to the installing thread, so concurrent threads
+     each see their own recorder *)
+  let n = 4 in
+  let recorders = Array.init n (fun _ -> Obs.Recorder.create ()) in
+  Array.iter Obs.Recorder.enable recorders;
+  let threads =
+    Array.to_list
+      (Array.mapi
+         (fun i r ->
+           Thread.create
+             (fun () ->
+               Obs.with_recorder r (fun () ->
+                   Alcotest.(check bool) "ambient is mine" true
+                     (Obs.ambient () == r);
+                   for _ = 1 to i + 1 do
+                     Obs.span "tick" (fun () -> Obs.count "n" 1)
+                   done))
+             ())
+         recorders)
+  in
+  List.iter Thread.join threads;
+  Array.iteri
+    (fun i r ->
+      Alcotest.(check int)
+        (Printf.sprintf "recorder %d event count" i)
+        (i + 1)
+        (List.length (Obs.Recorder.events r));
+      Alcotest.(check (option int))
+        (Printf.sprintf "recorder %d counter" i)
+        (Some (i + 1))
+        (List.assoc_opt "n" (Obs.Recorder.totals r)))
+    recorders;
+  (* outside any with_recorder, ambient is the default instance *)
+  Alcotest.(check bool) "ambient falls back to default" true
+    (Obs.ambient () == Obs.default)
+
+let test_reset_under_live_span () =
+  (* regression: reset inside an open span used to leave the span stack
+     inconsistent — the stale frame's finish must not record an event,
+     and post-reset spans must start clean at depth 0 *)
+  let r = Obs.Recorder.create () in
+  Obs.Recorder.enable r;
+  Obs.with_recorder r (fun () ->
+      Obs.span "outer" (fun () ->
+          Obs.span "doomed" (fun () -> Obs.reset ());
+          (* still inside outer's body after the reset wiped the stack *)
+          Obs.span "fresh" (fun () -> Obs.count "n" 1)));
+  let evs = Obs.Recorder.events r in
+  Alcotest.(check bool) "stale frames record nothing" true
+    (not
+       (List.exists
+          (fun (e : Obs.event) -> e.name = "doomed" || e.name = "outer")
+          evs));
+  let fresh = List.find (fun (e : Obs.event) -> e.name = "fresh") evs in
+  Alcotest.(check int) "post-reset span is top-level" 0 fresh.Obs.depth;
+  Alcotest.(check string) "post-reset path has no stale prefix" "fresh"
+    fresh.Obs.path;
+  Alcotest.(check (option int)) "post-reset counters intact" (Some 1)
+    (List.assoc_opt "n" (Obs.Recorder.totals r));
+  (* and the recorder keeps working normally afterwards *)
+  Obs.with_recorder r (fun () -> Obs.span "later" (fun () -> ()));
+  Alcotest.(check int) "recorder usable after reset" 2
+    (List.length (Obs.Recorder.events r))
+
 let suite =
   [ Alcotest.test_case "disabled mode is a no-op" `Quick test_disabled_noop
   ; Alcotest.test_case "span nesting" `Quick test_span_nesting
@@ -199,4 +291,9 @@ let suite =
   ; Alcotest.test_case "chrome trace roundtrip" `Quick test_trace_roundtrip
   ; Alcotest.test_case "json parser" `Quick test_json_parser
   ; Alcotest.test_case "compiler stages observed" `Quick test_compiler_stages
+  ; Alcotest.test_case "recorder isolation" `Quick test_recorder_isolation
+  ; Alcotest.test_case "ambient dispatch across threads" `Quick
+      test_ambient_dispatch
+  ; Alcotest.test_case "reset under a live span" `Quick
+      test_reset_under_live_span
   ]

@@ -48,7 +48,20 @@ let responses : (string * P.response) list =
   ; ("reported", P.Reported "a table\nwith lines\n")
   ; ("diffed", P.Diffed { report = "all neutral"; regressed = false })
   ; ("equiv", P.Equiv_verdict { equivalent = true; detail = "equivalent" })
-  ; ("stats", P.Stats_reply [ ("serve.requests", 7); ("cache.hits", 40) ])
+  ; ( "stats"
+    , P.Stats_reply
+        { counters = [ ("serve.requests", 7); ("cache.hits", 40) ]
+        ; uptime_s = Some 12
+        ; server_version = Some "serve/2"
+        ; verbs = [ ("compile", 5); ("stats", 2) ]
+        } )
+  ; ( "stats without telemetry"
+    , P.Stats_reply
+        { counters = [ ("serve.requests", 7) ]
+        ; uptime_s = None
+        ; server_version = None
+        ; verbs = []
+        } )
   ; ("bye", P.Bye)
   ; ("error", P.Error_reply { stage = "parse"; message = "line 3: nope" })
   ]
@@ -142,7 +155,7 @@ let test_frame_oversized () =
 
 (* --- the live daemon --- *)
 
-let with_server f =
+let with_server ?log ?log_level ?trace_dir ?trace_sample f =
   let socket =
     Filename.temp_file "scc-test-serve" ".sock"
   in
@@ -152,7 +165,8 @@ let with_server f =
     Thread.create
       (fun () ->
         exit_code :=
-          Sc_serve.Server.run ~jobs:1 ~handle_signals:false ~socket ())
+          Sc_serve.Server.run ~jobs:1 ~handle_signals:false ?log ?log_level
+            ?trace_dir ?trace_sample ~socket ())
       ()
   in
   let rec await n =
@@ -181,13 +195,15 @@ let rpc socket req =
   | Ok r -> r
   | Error e -> Alcotest.failf "rpc failed: %s" e
 
-let stat socket key =
+let stats socket =
   match rpc socket P.Stats with
-  | P.Stats_reply kvs -> (
-    match List.assoc_opt key kvs with
-    | Some v -> v
-    | None -> Alcotest.failf "no %s counter" key)
+  | P.Stats_reply s -> s
   | _ -> Alcotest.fail "expected Stats_reply"
+
+let stat socket key =
+  match List.assoc_opt key (stats socket).P.counters with
+  | Some v -> v
+  | None -> Alcotest.failf "no %s counter" key
 
 let counter_spec =
   match Sc_core.Designs.builtin "counter" with
@@ -339,6 +355,203 @@ let test_verilog_style () =
   | P.Error_reply { stage; _ } -> Alcotest.failf "wrong stage %S" stage
   | _ -> Alcotest.fail "expected Error_reply"
 
+(* --- daemon telemetry: stats fields, structured log, sampled traces --- *)
+
+let test_stats_telemetry () =
+  with_server @@ fun socket ->
+  (match rpc socket (P.Compile counter_spec) with
+  | P.Compiled _ -> ()
+  | _ -> Alcotest.fail "expected Compiled");
+  (match rpc socket (P.Compile counter_spec) with
+  | P.Compiled _ -> ()
+  | _ -> Alcotest.fail "expected Compiled");
+  let s = stats socket in
+  (match s.P.server_version with
+  | Some v ->
+    Alcotest.(check string) "version" Sc_serve.Server.server_version v
+  | None -> Alcotest.fail "stats reply missing version");
+  (match s.P.uptime_s with
+  | Some u -> check_bool "uptime non-negative" true (u >= 0)
+  | None -> Alcotest.fail "stats reply missing uptime");
+  (* the verb counts, the latency histogram and the request counter all
+     agree on how many compiles were answered *)
+  (match List.assoc_opt "compile" s.P.verbs with
+  | Some n -> check_int "verb count matches requests sent" 2 n
+  | None -> Alcotest.fail "no per-verb count for compile");
+  (match List.assoc_opt "latency.compile.count" s.P.counters with
+  | Some n -> check_int "histogram count matches verb count" 2 n
+  | None -> Alcotest.fail "no latency histogram for compile");
+  List.iter
+    (fun q ->
+      match List.assoc_opt ("latency.compile." ^ q) s.P.counters with
+      | Some v -> check_bool ("compile " ^ q ^ " positive") true (v > 0)
+      | None -> Alcotest.failf "no latency.compile.%s" q)
+    [ "p50_us"; "p95_us"; "p99_us" ];
+  check_bool "peak_executions served" true
+    (stat socket "serve.peak_executions" >= 1)
+
+(* a pre-telemetry daemon's stats reply — counters only — must still
+   decode: the new fields are absent-tolerant like compile_spec.certify *)
+let test_stats_decode_compat () =
+  let wire =
+    {|{"t": "stats", "counters": {"serve.requests": 3, "cache.hits": 9}}|}
+  in
+  match P.response_of_string wire with
+  | Ok (P.Stats_reply s) ->
+    check_int "counters decoded" 2 (List.length s.P.counters);
+    check_bool "uptime absent" true (s.P.uptime_s = None);
+    check_bool "version absent" true (s.P.server_version = None);
+    check_bool "verbs absent" true (s.P.verbs = []);
+    check_int "counter value" 9
+      (Option.value ~default:0 (List.assoc_opt "cache.hits" s.P.counters))
+  | Ok _ -> Alcotest.fail "decoded to the wrong response"
+  | Error e -> Alcotest.failf "pre-telemetry stats failed to decode: %s" e
+
+let read_lines path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> ());
+      List.rev !lines)
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter
+      (fun f -> Sys.remove (Filename.concat dir f))
+      (Sys.readdir dir);
+    Sys.rmdir dir
+  end
+
+let test_log_and_trace () =
+  let log = Filename.temp_file "scc-test-serve" ".jsonl" in
+  let trace_dir = Filename.temp_file "scc-test-serve" ".traces" in
+  Sys.remove trace_dir;
+  Fun.protect
+    ~finally:(fun () ->
+      (try Sys.remove log with Sys_error _ -> ());
+      rm_rf trace_dir)
+    (fun () ->
+      with_server ~log ~log_level:Sc_obs.Slog.Debug ~trace_dir
+        ~trace_sample:(1, 1)
+      @@ fun socket ->
+      (match rpc socket (P.Compile counter_spec) with
+      | P.Compiled _ -> ()
+      | _ -> Alcotest.fail "expected Compiled");
+      ignore (stats socket);
+      (* every line written so far is a complete JSON object *)
+      let lines = read_lines log in
+      check_bool "log has lines" true (List.length lines >= 2);
+      let parsed =
+        List.map
+          (fun line ->
+            match Json.parse line with
+            | Ok v -> v
+            | Error e ->
+              Alcotest.failf "log line is not valid JSON: %s (%s)" line e)
+          lines
+      in
+      let by_event name =
+        List.filter (fun v -> Json.member "event" v = Some (Json.Str name)) parsed
+      in
+      check_int "one start event" 1 (List.length (by_event "start"));
+      let requests = by_event "request" in
+      check_bool "request lines present" true (List.length requests >= 2);
+      let compile_line =
+        List.find_opt
+          (fun v -> Json.member "verb" v = Some (Json.Str "compile"))
+          requests
+      in
+      (match compile_line with
+      | Some v ->
+        check_bool "request line names the design" true
+          (Json.member "design" v = Some (Json.Str "counter"));
+        check_bool "request line has a status" true
+          (Json.member "status" v = Some (Json.Str "ok"));
+        (match Json.member "dur_us" v with
+        | Some (Json.Num d) -> check_bool "duration recorded" true (d >= 0.0)
+        | _ -> Alcotest.fail "request line missing dur_us")
+      | None -> Alcotest.fail "no request line for the compile");
+      check_bool "debug connect lines pass the Debug filter" true
+        (by_event "connect" <> []);
+      (* the execution wrote its sampled Chrome trace *)
+      let traces =
+        Sys.readdir trace_dir |> Array.to_list
+        |> List.filter (fun f -> Filename.check_suffix f ".trace.json")
+      in
+      check_int "one trace for one execution" 1 (List.length traces);
+      let trace_file = Filename.concat trace_dir (List.hd traces) in
+      check_bool "trace file names the design" true
+        (let base = Filename.basename trace_file in
+         let re = "counter" in
+         let found = ref false in
+         let n = String.length base and m = String.length re in
+         for i = 0 to n - m do
+           if String.sub base i m = re then found := true
+         done;
+         !found);
+      match Json.parse (String.concat "\n" (read_lines trace_file)) with
+      | Ok v -> (
+        match Json.member "traceEvents" v with
+        | Some (Json.Arr evs) ->
+          check_bool "trace has span events" true
+            (List.exists
+               (fun e -> Json.member "ph" e = Some (Json.Str "X"))
+               evs)
+        | _ -> Alcotest.fail "trace missing traceEvents")
+      | Error e -> Alcotest.failf "trace does not parse: %s" e)
+
+(* one request's --certify must not leak into a concurrent plain
+   compile: run them together and check the snapshots disagree about
+   certificates the way the flags do *)
+let test_certify_isolation_concurrent () =
+  with_server @@ fun socket ->
+  let traffic_spec =
+    match Sc_core.Designs.builtin "traffic" with
+    | Some source ->
+      { P.design = "traffic"; source; style = "gates"; restarts = 0
+      ; certify = false
+      }
+    | None -> assert false
+  in
+  let certified_passes c =
+    match Json.member "qor" c.P.snapshot with
+    | Some qor -> (
+      match Json.member "equiv.certified_passes" qor with
+      | Some (Json.Num n) -> int_of_float n
+      | _ -> 0)
+    | None -> 0
+  in
+  let results = Array.make 2 None in
+  let reqs =
+    [| P.Compile { counter_spec with P.certify = true }
+     ; P.Compile traffic_spec
+    |]
+  in
+  let threads =
+    List.init 2 (fun i ->
+        Thread.create (fun () -> results.(i) <- Some (rpc socket reqs.(i))) ())
+  in
+  List.iter Thread.join threads;
+  (match results.(0) with
+  | Some (P.Compiled c) ->
+    check_bool "certified compile proves passes" true (certified_passes c >= 1)
+  | Some (P.Error_reply { stage; message }) ->
+    Alcotest.failf "certified compile failed: %s: %s" stage message
+  | _ -> Alcotest.fail "expected Compiled");
+  match results.(1) with
+  | Some (P.Compiled c) ->
+    check_int "concurrent plain compile stays uncertified" 0
+      (certified_passes c)
+  | Some (P.Error_reply { stage; message }) ->
+    Alcotest.failf "plain compile failed: %s: %s" stage message
+  | _ -> Alcotest.fail "expected Compiled"
+
 let suite =
   [ Alcotest.test_case "request codecs roundtrip" `Quick test_request_roundtrip
   ; Alcotest.test_case "response codecs roundtrip" `Quick
@@ -358,4 +571,11 @@ let suite =
   ; Alcotest.test_case "certified compile via daemon" `Quick
       test_certified_compile_via_daemon
   ; Alcotest.test_case "verilog style" `Quick test_verilog_style
+  ; Alcotest.test_case "stats telemetry fields" `Quick test_stats_telemetry
+  ; Alcotest.test_case "pre-telemetry stats decode" `Quick
+      test_stats_decode_compat
+  ; Alcotest.test_case "structured log and sampled traces" `Quick
+      test_log_and_trace
+  ; Alcotest.test_case "certify isolation under concurrency" `Quick
+      test_certify_isolation_concurrent
   ]
