@@ -8,7 +8,7 @@
 
    Run everything:        dune exec bench/main.exe
    Run one experiment:    dune exec bench/main.exe -- e3
-   Options:               e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e13 e14 e15
+   Options:               e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e13 e14 e15 e16 e17
                           profile ablate micro all
    (e10 and profile are synonyms: the stage-cost profile of the full
    behavioral path, regenerating the EXPERIMENTS.md E10 table.) *)
@@ -1735,6 +1735,142 @@ let e16 () =
   Printf.printf "machine-readable results written to BENCH_e16.json\n"
 
 (* ------------------------------------------------------------------ *)
+(* E17: separate compilation — per-module pipelines + macro assembly   *)
+(* ------------------------------------------------------------------ *)
+
+let e17 () =
+  section "E17: separate compilation (per-module pipelines, macro assembly)"
+    "a multi-module chip compiles each module through its own \
+     stage-cached sub-pipeline: editing one module re-runs exactly that \
+     module's passes plus assembly, every other module is all-hit, and \
+     the modular QoR snapshot is byte-identical cold vs warm and at \
+     -j1 vs -j4";
+  let module P = Sc_pipeline.Pipeline in
+  let fail msg =
+    Printf.printf "\nFAIL: %s\n" msg;
+    exit 1
+  in
+  let wall f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, (Unix.gettimeofday () -. t0) *. 1000.)
+  in
+  let replace ~sub ~by s =
+    let n = String.length sub in
+    let rec find i =
+      if i + n > String.length s then fail ("e17: no " ^ sub ^ " in source")
+      else if String.sub s i n = sub then i
+      else find (i + 1)
+    in
+    let i = find 0 in
+    String.sub s 0 i ^ by ^ String.sub s (i + n) (String.length s - i - n)
+  in
+  let src = Sc_core.Designs.system_src in
+  (* the edit: one operator inside the mixer module body *)
+  let edited = replace ~sub:"y := a ^ b" ~by:"y := a | b" src in
+  let compile ~jobs s =
+    Sc_par.Pool.set_default_size jobs;
+    Sc_obs.Obs.reset ();
+    Sc_obs.Obs.enable ();
+    P.reset_log ();
+    match Sc_core.Compiler.compile_behavior s with
+    | Error d -> fail ("e17: " ^ Sc_pipeline.Diag.to_string d)
+    | Ok _ ->
+      let lg = P.log () in
+      Sc_obs.Obs.disable ();
+      let qor =
+        Sc_metrics.Metrics.qor_string
+          (Sc_metrics.Metrics.capture ~design:"system" ())
+      in
+      (lg, qor)
+  in
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "scc-e17-cache" in
+  rm_rf dir;
+  P.enable_cache ~dir ();
+  let (log_cold, qor_cold), cold = wall (fun () -> compile ~jobs:4 src) in
+  let (log_warm, qor_warm), warm = wall (fun () -> compile ~jobs:1 src) in
+  let (log_edit, qor_edit), edit = wall (fun () -> compile ~jobs:4 edited) in
+  P.disable_cache ();
+  P.clear_caches ();
+  (* a cacheless -j1 rebuild from scratch: pure scheduling determinism *)
+  let (_, qor_j1), _ = wall (fun () -> compile ~jobs:1 src) in
+  Sc_par.Pool.set_default_size 1;
+  Printf.printf "%-16s %-14s %-14s %-14s\n" "pass" "cold (-j4)"
+    "warm (-j1)" "mixer edited";
+  List.iteri
+    (fun i (name, _) ->
+      let at lg = P.status_to_string (snd (List.nth lg i)) in
+      Printf.printf "%-16s %-14s %-14s %-14s\n" name (at log_cold)
+        (at log_warm) (at log_edit))
+    log_cold;
+  Printf.printf
+    "\ntimings: cold %.1f ms; warm %.1f ms (%.0fx); after the mixer edit \
+     %.1f ms (%.1fx)\n"
+    cold warm
+    (cold /. Float.max warm 0.001)
+    edit
+    (cold /. Float.max edit 0.001);
+  let ran lg =
+    List.filter_map
+      (fun (n, st) -> if st = P.Ran || st = P.Failed then Some n else None)
+      lg
+  in
+  if ran log_warm <> [] then
+    fail ("e17: identical input re-ran: " ^ String.concat ", " (ran log_warm));
+  let expected_edit =
+    [ "mixer:parse"; "mixer:compile"; "mixer:optimize"; "mixer:place"
+    ; "mixer:route"; "mixer:drc"; "mixer:emit"; "mixer:measure"
+    ; "assemble"; "drc"; "emit"; "measure"
+    ]
+  in
+  if ran log_edit <> expected_edit then
+    fail
+      ("e17: mixer edit re-ran: "
+      ^ String.concat ", " (ran log_edit)
+      ^ " (expected " ^ String.concat ", " expected_edit ^ ")");
+  if qor_warm <> qor_cold then
+    fail "e17: warm -j1 QoR differs from cold -j4 QoR";
+  if qor_j1 <> qor_cold then
+    fail "e17: cacheless -j1 QoR differs from cold -j4 QoR";
+  if qor_edit = qor_cold then
+    fail "e17: the mixer edit left the QoR snapshot unchanged";
+  Printf.printf
+    "\nidentical input: all-stage hit; mixer edit: accum all-hit, \
+     mixer's sub-pipeline + assembly recomputed\n";
+  Printf.printf
+    "QoR snapshots byte-identical cold -j4 / warm -j1 / cacheless -j1\n";
+  let round3 t = Sc_obs.Json.Num (Float.round (t *. 1000.) /. 1000.) in
+  let statuses lg =
+    Sc_obs.Json.Obj
+      (List.map
+         (fun (n, st) -> (n, Sc_obs.Json.Str (P.status_to_string st)))
+         lg)
+  in
+  let json =
+    Sc_obs.Json.Obj
+      [ ("schema", Sc_obs.Json.Str "scc-bench")
+      ; ("experiment", Sc_obs.Json.Str "e17")
+      ; ( "ms"
+        , Sc_obs.Json.Obj
+            [ ("cold_j4", round3 cold)
+            ; ("warm_j1", round3 warm)
+            ; ("warm_after_mixer_edit", round3 edit)
+            ] )
+      ; ("cold", statuses log_cold)
+      ; ("warm_identical", statuses log_warm)
+      ; ("warm_after_mixer_edit", statuses log_edit)
+      ; ("qor_identical", Sc_obs.Json.Bool true)
+      ]
+  in
+  let oc = open_out "BENCH_e17.json" in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Sc_obs.Json.to_string json);
+      output_char oc '\n');
+  Printf.printf "machine-readable timings written to BENCH_e17.json\n"
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let what = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
@@ -1754,6 +1890,7 @@ let () =
     | "e14" -> e14 ()
     | "e15" -> e15 ()
     | "e16" -> e16 ()
+    | "e17" -> e17 ()
     | "ablate" -> ablate ()
     | "micro" -> micro ()
     | other -> Printf.eprintf "unknown experiment %S\n" other
@@ -1762,6 +1899,6 @@ let () =
   | "all" ->
     List.iter run
       [ "e1"; "e2"; "e3"; "e4"; "e5"; "e6"; "e7"; "e8"; "e9"; "e10"; "e11"
-      ; "e13"; "e14"; "e15"; "e16"; "ablate"; "micro"
+      ; "e13"; "e14"; "e15"; "e16"; "e17"; "ablate"; "micro"
       ]
   | w -> run w

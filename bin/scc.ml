@@ -325,6 +325,26 @@ let style_arg =
     & info [ "s"; "style" ] ~docv:"STYLE"
         ~doc:"Control style: $(b,gates) (random logic) or $(b,pla).")
 
+let modular_arg =
+  Arg.(
+    value & flag
+    & info [ "modular" ]
+        ~doc:
+          "Require separate compilation: the source must carry a \
+           top-level $(b,chip) block binding module instances \
+           (detected automatically otherwise).  Each module block \
+           compiles through its own stage-cached sub-pipeline and the \
+           chip is macro-assembled from the per-module layouts; with \
+           $(b,--explain), per-module rows appear as module:pass.")
+
+let check_modular ~modular src k =
+  if modular && not (Sc_core.Chipdesc.is_modular src) then begin
+    Printf.eprintf
+      "error: --modular requires a chip block binding module instances\n";
+    2
+  end
+  else k ()
+
 let behavior_run ?restarts ?inject_fault src style output verify =
   match Sc_core.Compiler.compile_behavior ~style ?restarts ?inject_fault src with
   | Error d -> report_diag d
@@ -358,20 +378,22 @@ let behavior_run ?restarts ?inject_fault src style output verify =
 
 let behavior_cmd =
   let run file style output verify stats trace metrics jobs stage_cache
-      cache_dir explain restarts certify inject_fault =
+      cache_dir explain restarts certify inject_fault modular =
+    let src = read_file file in
+    check_modular ~modular src @@ fun () ->
     with_jobs jobs @@ fun () ->
     with_pipeline ~stage_cache ~cache_dir ~explain ~certify @@ fun () ->
     instrumented ~stats ~trace ~metrics ~design:(design_of_path file)
       ~table:Format.err_formatter (fun () ->
-        behavior_run ~restarts ?inject_fault (read_file file) style output
-          verify)
+        behavior_run ~restarts ?inject_fault src style output verify)
   in
   Cmd.v
     (Cmd.info "behavior" ~doc:"Compile an ISP behavioral description to CIF.")
     Term.(
       const run $ file_arg $ style_arg $ output_arg $ verify_arg $ stats_arg
       $ trace_arg $ metrics_arg $ jobs_arg $ stage_cache_arg $ cache_dir_arg
-      $ explain_arg $ restarts_arg $ certify_arg $ inject_fault_arg)
+      $ explain_arg $ restarts_arg $ certify_arg $ inject_fault_arg
+      $ modular_arg)
 
 (* --- isp: builtin designs (or files) through the full behavioral path,
    built for profiling: the stage table goes to stdout, CIF is written
@@ -385,11 +407,11 @@ let isp_cmd =
       & info [] ~docv:"DESIGN"
           ~doc:
             "A builtin design ($(b,counter), $(b,traffic), $(b,alu4), \
-             $(b,gray), $(b,seqdet), $(b,pdp8), $(b,pdp8_dp)) or an ISP \
+             $(b,gray), $(b,seqdet), $(b,pdp8), $(b,pdp8_dp), $(b,system)) or an ISP \
              file path.")
   in
   let run design style output stats trace metrics jobs stage_cache cache_dir
-      explain restarts certify inject_fault =
+      explain restarts certify inject_fault modular =
     let src =
       match Sc_core.Designs.builtin design with
       | Some _ as s -> s
@@ -402,6 +424,7 @@ let isp_cmd =
         design;
       2
     | Some src ->
+      check_modular ~modular src @@ fun () ->
       with_jobs jobs @@ fun () ->
       with_pipeline ~stage_cache ~cache_dir ~explain ~certify @@ fun () ->
       instrumented ~stats ~trace ~metrics ~design:(design_of_path design)
@@ -429,7 +452,7 @@ let isp_cmd =
     Term.(
       const run $ design_arg $ style_arg $ output_arg $ stats_arg $ trace_arg
       $ metrics_arg $ jobs_arg $ stage_cache_arg $ cache_dir_arg $ explain_arg
-      $ restarts_arg $ certify_arg $ inject_fault_arg)
+      $ restarts_arg $ certify_arg $ inject_fault_arg $ modular_arg)
 
 (* --- verilog: the second behavioral frontend; elaborates to the same
    design IR as the ISP parser and runs the identical gates pipeline *)

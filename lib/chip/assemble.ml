@@ -144,3 +144,191 @@ let assemble ?(bind = []) ~name ~core ~pads () =
 let pp ppf a =
   Format.fprintf ppf "chip %s: %d pads, core %d, chip %d (x%.2f)"
     a.chip.Cell.name a.pads a.core_area a.chip_area a.overhead
+
+(* --- macro assembly ---------------------------------------------------
+   The generalization of the pad frame: instead of one hand core, a row
+   of per-module macros with typed interface pins, connected by a
+   chip-level routing channel.  All pin geometry lives on a 14-lambda
+   grid: macro pins (bottom edge of the channel) sit at even x, chip
+   port pins (top edge) at odd x, so no routing column ever holds both
+   a top and a bottom pin — the vertical constraint graph is empty and
+   the channel is routable by construction. *)
+
+let grid = 14 (* metal surround pitch of the channel router, times two *)
+let stub_h = 4
+let gutter = 2 * grid
+
+let round_up n = (n + grid - 1) / grid * grid
+
+let macro ~name ~pins cell =
+  let body = Cell.translate_to_origin cell in
+  let h = Cell.height body in
+  let stubs =
+    List.mapi
+      (fun i pn ->
+        let x = grid * i in
+        let r = Rect.make x h (x + 2) (h + stub_h) in
+        (Cell.box Layer.Poly r, Cell.port pn Layer.Poly r))
+      pins
+  in
+  Cell.make ~name ~ports:(List.map snd stubs)
+    ~instances:[ Cell.instantiate ~name:"body" body ]
+    (List.map fst stubs)
+
+type macro_spec =
+  { mi_name : string  (** instance name, unique in the chip *)
+  ; mi_pins : string list  (** bit-level pin names, signature order *)
+  ; mi_cell : Cell.t  (** the module's DRC-clean layout *)
+  }
+
+type endpoint =
+  | Chip of string
+  | Pin of string * string
+
+type net = { net_name : string; ends : endpoint list }
+
+type packed =
+  { core : Cell.t
+  ; macro_count : int
+  ; row_width : int
+  ; row_height : int
+  ; channel_tracks : int
+  ; channel_height : int
+  ; trunk_length : int
+  }
+
+let pack ~name ~macros ~chip_ports ~nets () =
+  (match
+     List.find_opt
+       (fun m ->
+         List.length (List.filter (fun m' -> m'.mi_name = m.mi_name) macros)
+         > 1)
+       macros
+   with
+  | Some m ->
+    invalid_arg
+      (Printf.sprintf "Assemble.pack: duplicate instance name %S" m.mi_name)
+  | None -> ());
+  (* one wrapper cell per distinct (module layout, pin list): two
+     instances of the same module share the wrapper, hence the CIF
+     symbol *)
+  let wrappers = ref [] in
+  let wrapper_for m =
+    let k = (m.mi_cell.Cell.id, m.mi_pins) in
+    match List.assoc_opt k !wrappers with
+    | Some w -> w
+    | None ->
+      let w =
+        macro
+          ~name:("macro_" ^ m.mi_cell.Cell.name)
+          ~pins:m.mi_pins m.mi_cell
+      in
+      wrappers := (k, w) :: !wrappers;
+      w
+  in
+  let placed =
+    (* (spec, wrapper, x) left to right, x on the grid *)
+    let x = ref grid in
+    List.map
+      (fun m ->
+        let w = wrapper_for m in
+        let mx = !x in
+        x := !x + round_up (max 1 (Cell.width w)) + gutter;
+        (m, w, mx))
+      macros
+  in
+  let row_height =
+    List.fold_left (fun a (_, w, _) -> max a (Cell.height w)) 0 placed
+  in
+  let row_width =
+    List.fold_left (fun a (_, w, x) -> max a (x + Cell.width w)) 0 placed
+  in
+  let width =
+    max (round_up row_width + grid) ((grid * List.length chip_ports) + grid)
+  in
+  let pin_x (m, _, x) pin =
+    let rec idx i = function
+      | [] ->
+        invalid_arg
+          (Printf.sprintf "Assemble.pack: %s has no pin %S" m.mi_name pin)
+      | p :: _ when p = pin -> i
+      | _ :: rest -> idx (i + 1) rest
+    in
+    x + (grid * idx 0 m.mi_pins)
+  in
+  let chip_port_x p =
+    let rec idx i = function
+      | [] -> invalid_arg (Printf.sprintf "Assemble.pack: no chip port %S" p)
+      | q :: _ when q = p -> i
+      | _ :: rest -> idx (i + 1) rest
+    in
+    (grid * idx 0 chip_ports) + (grid / 2)
+  in
+  let top = ref [] and bottom = ref [] in
+  List.iteri
+    (fun netid n ->
+      List.iter
+        (fun e ->
+          match e with
+          | Chip p ->
+            top := { Sc_route.Channel.x = chip_port_x p; net = netid } :: !top
+          | Pin (iname, pin) -> (
+            match
+              List.find_opt (fun (m, _, _) -> m.mi_name = iname) placed
+            with
+            | None ->
+              invalid_arg
+                (Printf.sprintf "Assemble.pack: net %s names unknown instance %S"
+                   n.net_name iname)
+            | Some pl ->
+              bottom :=
+                { Sc_route.Channel.x = pin_x pl pin; net = netid } :: !bottom))
+        n.ends)
+    nets;
+  let routed =
+    Sc_route.Channel.route
+      { Sc_route.Channel.top = List.rev !top
+      ; bottom = List.rev !bottom
+      ; width
+      }
+  in
+  let ch = routed.Sc_route.Channel.layout in
+  let instances =
+    List.map
+      (fun (m, w, x) ->
+        (* pin-stub tops aligned on the channel floor: shorter macros
+           hang lower, every pin enters the channel at the same y *)
+        Cell.instantiate ~name:m.mi_name
+          ~trans:(Transform.translation x (row_height - Cell.height w))
+          w)
+      placed
+    @ [ Cell.instantiate ~name:"channel"
+          ~trans:(Transform.translation 0 row_height)
+          ch
+      ]
+  in
+  let port_y = row_height + routed.Sc_route.Channel.height in
+  let ports, port_stubs =
+    List.split
+      (List.map
+         (fun p ->
+           let x = chip_port_x p in
+           let r = Rect.make x port_y (x + 2) (port_y + stub_h) in
+           (Cell.port p Layer.Poly r, Cell.box Layer.Poly r))
+         chip_ports)
+  in
+  let core = Cell.make ~name ~ports ~instances port_stubs in
+  { core
+  ; macro_count = List.length macros
+  ; row_width
+  ; row_height
+  ; channel_tracks = routed.Sc_route.Channel.tracks
+  ; channel_height = routed.Sc_route.Channel.height
+  ; trunk_length = routed.Sc_route.Channel.trunk_length
+  }
+
+let pp_packed ppf p =
+  Format.fprintf ppf
+    "core %s: %d macros, row %dx%d, channel %d tracks (h %d, wire %d)"
+    p.core.Cell.name p.macro_count p.row_width p.row_height p.channel_tracks
+    p.channel_height p.trunk_length

@@ -38,3 +38,64 @@ val assemble :
   assembly
 
 val pp : Format.formatter -> assembly -> unit
+
+(** {2 Macro assembly}
+
+    The pad frame generalized to many cores: each module of a design
+    arrives as a DRC-clean layout, is wrapped into a {e macro} carrying
+    its typed interface as poly pin stubs along its top edge (one per
+    signature bit, on a 14-lambda grid), and the macros are packed into
+    a row under a chip-level routing channel.  Inter-macro nets and
+    chip-port nets route through the channel ({!Sc_route.Channel});
+    macro pins enter from below at even grid positions and chip ports
+    from above at odd ones, so no column carries both a top and a
+    bottom pin — the vertical constraint graph is empty and routing
+    succeeds by construction.  The packed core exposes the chip's port
+    bits as named poly ports on its top edge, so the existing pad frame
+    ({!assemble}) wraps it unchanged. *)
+
+val macro : name:string -> pins:string list -> Cell.t -> Cell.t
+(** [macro ~name ~pins cell] — [cell] translated to the origin with one
+    poly pin stub per [pins] entry along its top edge at x = 0, 14, 28,
+    ..., each exposed as a port of that name. *)
+
+type macro_spec =
+  { mi_name : string  (** instance name, unique in the chip *)
+  ; mi_pins : string list  (** bit-level pin names, signature order *)
+  ; mi_cell : Cell.t  (** the module's DRC-clean layout *)
+  }
+
+type endpoint =
+  | Chip of string  (** a chip-level port bit *)
+  | Pin of string * string  (** (instance name, pin bit name) *)
+
+type net = { net_name : string; ends : endpoint list }
+
+type packed =
+  { core : Cell.t
+      (** macro row + channel + chip-port stubs; ports = [chip_ports] *)
+  ; macro_count : int
+  ; row_width : int
+  ; row_height : int
+  ; channel_tracks : int
+  ; channel_height : int
+  ; trunk_length : int
+  }
+
+(** [pack ~name ~macros ~chip_ports ~nets ()] — place [macros] left to
+    right (pin-stub tops aligned on the channel floor), route [nets]
+    through one channel, and expose [chip_ports] (bit-level names; list
+    order fixes their x positions).  Instances of the same module share
+    one wrapper cell, hence one CIF symbol.
+
+    @raise Invalid_argument on duplicate instance names or nets naming
+    unknown instances, pins or chip ports. *)
+val pack :
+  name:string ->
+  macros:macro_spec list ->
+  chip_ports:string list ->
+  nets:net list ->
+  unit ->
+  packed
+
+val pp_packed : Format.formatter -> packed -> unit

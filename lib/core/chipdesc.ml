@@ -1,0 +1,463 @@
+type source_module =
+  { sm_name : string
+  ; sm_text : string
+  }
+
+type port_decl =
+  { pd_name : string
+  ; pd_width : int
+  }
+
+type instance =
+  { ci_name : string
+  ; ci_module : string
+  }
+
+type endpoint =
+  | Cport of string
+  | Ipin of string * string
+
+type chip_decl =
+  { ch_name : string
+  ; ch_inputs : port_decl list
+  ; ch_outputs : port_decl list
+  ; ch_insts : instance list
+  ; ch_connects : (endpoint * endpoint) list
+  }
+
+type t =
+  { modules : source_module list
+  ; chip : chip_decl option
+  }
+
+(* --- lexical split ---------------------------------------------------- *)
+
+let strip_comment line =
+  let rec find i =
+    if i + 1 >= String.length line then None
+    else if line.[i] = '-' && line.[i + 1] = '-' then Some i
+    else find (i + 1)
+  in
+  match find 0 with None -> line | Some i -> String.sub line 0 i
+
+let first_word line =
+  let line = strip_comment line in
+  let n = String.length line in
+  let rec skip i = if i < n && (line.[i] = ' ' || line.[i] = '\t') then skip (i + 1) else i in
+  let s = skip 0 in
+  let rec take i =
+    if i < n && (line.[i] = '_' || ('a' <= line.[i] && line.[i] <= 'z')
+                 || ('A' <= line.[i] && line.[i] <= 'Z')
+                 || ('0' <= line.[i] && line.[i] <= '9'))
+    then take (i + 1)
+    else i
+  in
+  String.sub line s (take s - s)
+
+let is_modular src =
+  List.exists (fun l -> first_word l = "chip") (String.split_on_char '\n' src)
+
+(* Cut at top-level "module"/"chip" keyword lines.  The ISP grammar
+   nests [end]s, so keyword lines — not end-counting — delimit blocks;
+   both keywords are only ever top-level in this dialect. *)
+let blocks src =
+  let lines = String.split_on_char '\n' src in
+  let flush acc cur =
+    match cur with
+    | None -> acc
+    | Some (kw, ls) -> (kw, String.concat "\n" (List.rev ls)) :: acc
+  in
+  let acc, cur =
+    List.fold_left
+      (fun (acc, cur) line ->
+        match first_word line with
+        | ("module" | "chip") as kw -> (flush acc cur, Some (kw, [ line ]))
+        | _ -> (
+          match cur with
+          | None -> (acc, None) (* preamble before the first block *)
+          | Some (kw, ls) -> (acc, Some (kw, line :: ls))))
+      ([], None) lines
+  in
+  List.rev (flush acc cur)
+
+(* --- chip block tokens ------------------------------------------------ *)
+
+type token = Ident of string | Int of int | Sym of char
+
+let tokenize text =
+  let buf = ref [] in
+  let lines = String.split_on_char '\n' text in
+  List.iter
+    (fun line ->
+      let line = strip_comment line in
+      let n = String.length line in
+      let i = ref 0 in
+      while !i < n do
+        let c = line.[!i] in
+        if c = ' ' || c = '\t' || c = '\r' then incr i
+        else if ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') || c = '_'
+        then begin
+          let s = !i in
+          while
+            !i < n
+            &&
+            let c = line.[!i] in
+            ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z')
+            || ('0' <= c && c <= '9') || c = '_'
+          do
+            incr i
+          done;
+          buf := Ident (String.sub line s (!i - s)) :: !buf
+        end
+        else if '0' <= c && c <= '9' then begin
+          let s = !i in
+          while !i < n && '0' <= line.[!i] && line.[!i] <= '9' do
+            incr i
+          done;
+          buf := Int (int_of_string (String.sub line s (!i - s))) :: !buf
+        end
+        else begin
+          buf := Sym c :: !buf;
+          incr i
+        end
+      done)
+    lines;
+  List.rev !buf
+
+(* --- chip block parser ------------------------------------------------ *)
+
+let ( let* ) = Result.bind
+
+let err fmt = Printf.ksprintf (fun s -> Error s) fmt
+
+let parse_chip text =
+  let toks = ref (tokenize text) in
+  let peek () = match !toks with [] -> None | t :: _ -> Some t in
+  let next () =
+    match !toks with
+    | [] -> None
+    | t :: rest ->
+      toks := rest;
+      Some t
+  in
+  let expect_sym c =
+    match next () with
+    | Some (Sym s) when s = c -> Ok ()
+    | _ -> err "chip %s: expected '%c'" text c
+  in
+  let ident what =
+    match next () with
+    | Some (Ident s) -> Ok s
+    | _ -> err "chip block: expected %s" what
+  in
+  let rec ports acc =
+    let* name = ident "a port name" in
+    let* () = expect_sym '[' in
+    let* w =
+      match next () with
+      | Some (Int w) when w >= 1 -> Ok w
+      | _ -> err "port %s: expected a positive width" name
+    in
+    let* () = expect_sym ']' in
+    let acc = { pd_name = name; pd_width = w } :: acc in
+    match next () with
+    | Some (Sym ',') -> ports acc
+    | Some (Sym ';') -> Ok (List.rev acc)
+    | _ -> err "port list after %s: expected ',' or ';'" name
+  in
+  let endpoint () =
+    let* a = ident "a port or instance reference" in
+    match peek () with
+    | Some (Sym '.') ->
+      ignore (next ());
+      let* p = ident (Printf.sprintf "a port of instance %s" a) in
+      Ok (Ipin (a, p))
+    | _ -> Ok (Cport a)
+  in
+  match next () with
+  | Some (Ident "chip") -> (
+    let* name = ident "the chip name" in
+    let* () = expect_sym ';' in
+    let rec sections inputs outputs insts conns =
+      match next () with
+      | Some (Ident "inputs") ->
+        let* ps = ports [] in
+        sections (inputs @ ps) outputs insts conns
+      | Some (Ident "outputs") ->
+        let* ps = ports [] in
+        sections inputs (outputs @ ps) insts conns
+      | Some (Ident "instances") ->
+        let rec insts_loop acc =
+          match peek () with
+          | Some (Ident ("inputs" | "outputs" | "instances" | "connect" | "end"))
+          | None ->
+            Ok acc
+          | _ ->
+            let* iname = ident "an instance name" in
+            let* () = expect_sym ':' in
+            let* mname = ident "a module name" in
+            let* () = expect_sym ';' in
+            insts_loop (acc @ [ { ci_name = iname; ci_module = mname } ])
+        in
+        let* is = insts_loop [] in
+        sections inputs outputs (insts @ is) conns
+      | Some (Ident "connect") ->
+        let rec conns_loop acc =
+          match peek () with
+          | Some (Ident ("inputs" | "outputs" | "instances" | "connect" | "end"))
+          | None ->
+            Ok acc
+          | _ ->
+            let* sink = endpoint () in
+            let* () = expect_sym '=' in
+            let* src = endpoint () in
+            let* () = expect_sym ';' in
+            conns_loop (acc @ [ (sink, src) ])
+        in
+        let* cs = conns_loop [] in
+        sections inputs outputs insts (conns @ cs)
+      | Some (Ident "end") ->
+        Ok
+          { ch_name = name
+          ; ch_inputs = inputs
+          ; ch_outputs = outputs
+          ; ch_insts = insts
+          ; ch_connects = conns
+          }
+      | Some _ -> err "chip %s: unexpected token (expected a section or end)" name
+      | None -> err "chip %s: missing end" name
+    in
+    sections [] [] [] [])
+  | _ -> err "chip block does not start with 'chip'"
+
+let module_name text =
+  match tokenize text with
+  | Ident "module" :: Ident n :: _ -> Ok n
+  | _ -> Error "module block does not start with 'module <name>;'"
+
+let dup_by f l =
+  let rec go seen = function
+    | [] -> None
+    | x :: rest -> if List.mem (f x) seen then Some x else go (f x :: seen) rest
+  in
+  go [] l
+
+let split src =
+  let bs = blocks src in
+  if bs = [] then err "no module or chip blocks found"
+  else
+    let* modules, chips =
+      List.fold_left
+        (fun acc (kw, text) ->
+          let* ms, cs = acc in
+          match kw with
+          | "module" ->
+            let* n = module_name text in
+            Ok (ms @ [ { sm_name = n; sm_text = text } ], cs)
+          | _ ->
+            let* c = parse_chip text in
+            Ok (ms, cs @ [ c ]))
+        (Ok ([], []))
+        bs
+    in
+    let* chip =
+      match chips with
+      | [] -> Ok None
+      | [ c ] -> Ok (Some c)
+      | c :: _ -> err "multiple chip blocks (first: %s)" c.ch_name
+    in
+    let* () =
+      match dup_by (fun m -> m.sm_name) modules with
+      | Some m -> err "duplicate module %s" m.sm_name
+      | None -> Ok ()
+    in
+    match chip with
+    | None -> Ok { modules; chip }
+    | Some c -> (
+      let* () =
+        match dup_by (fun i -> i.ci_name) c.ch_insts with
+        | Some i -> err "chip %s: duplicate instance %s" c.ch_name i.ci_name
+        | None -> Ok ()
+      in
+      match
+        List.find_opt
+          (fun i ->
+            not (List.exists (fun m -> m.sm_name = i.ci_module) modules))
+          c.ch_insts
+      with
+      | Some i ->
+        err "chip %s: instance %s names unknown module %s" c.ch_name i.ci_name
+          i.ci_module
+      | None -> Ok { modules; chip })
+
+(* --- signature-level resolution --------------------------------------- *)
+
+type bit =
+  { b_end : endpoint
+  ; b_idx : int
+  }
+
+type chip_net =
+  { cn_src : bit
+  ; cn_sinks : bit list
+  }
+
+let bit_name ep ~width idx =
+  let base = match ep with Cport p -> p | Ipin (_, p) -> p in
+  if width = 1 then base else Printf.sprintf "%s[%d]" base idx
+
+let resolve chip ~sigs =
+  let module Sig = Sc_netlist.Signature in
+  (* direction seen from the chip's router: `Source can drive a net,
+     `Sink must be driven *)
+  let classify ep =
+    match ep with
+    | Cport p -> (
+      match
+        ( List.find_opt (fun d -> d.pd_name = p) chip.ch_inputs
+        , List.find_opt (fun d -> d.pd_name = p) chip.ch_outputs )
+      with
+      | Some d, _ ->
+        Ok (`Source, d.pd_width, Printf.sprintf "chip input %s[%d]" p d.pd_width)
+      | _, Some d ->
+        Ok (`Sink, d.pd_width, Printf.sprintf "chip output %s[%d]" p d.pd_width)
+      | None, None -> err "chip %s has no port %s" chip.ch_name p)
+    | Ipin (iname, pname) -> (
+      match List.find_opt (fun x -> x.ci_name = iname) chip.ch_insts with
+      | None -> err "unknown instance %s" iname
+      | Some inst -> (
+        match sigs inst.ci_module with
+        | None -> err "no signature for module %s" inst.ci_module
+        | Some s -> (
+          match Sig.find s pname with
+          | None ->
+            err "instance %s: module %s has no port %s" iname inst.ci_module
+              pname
+          | Some p ->
+            let dir, word =
+              match p.Sig.sdir with
+              | Sc_netlist.Circuit.In -> (`Sink, "in")
+              | Sc_netlist.Circuit.Out -> (`Source, "out")
+            in
+            Ok
+              ( dir
+              , p.Sig.swidth
+              , Printf.sprintf "%s.%s (module %s, %s %s[%d])" iname pname
+                  inst.ci_module word pname p.Sig.swidth ))))
+  in
+  let* conns =
+    List.fold_left
+      (fun acc (sink, src) ->
+        let* acc = acc in
+        let* sdir, sw, sdescr = classify sink in
+        let* ddir, dw, ddescr = classify src in
+        if sdir <> `Sink then
+          err "connection sink %s is a driver, not a destination" sdescr
+        else if ddir <> `Source then
+          err "connection source %s is an input, it cannot drive" ddescr
+        else if sw <> dw then
+          err "width mismatch: %s connected to %s" sdescr ddescr
+        else Ok ((sink, src, sw, sdescr) :: acc))
+      (Ok []) chip.ch_connects
+  in
+  let conns = List.rev conns in
+  (* one driver per sink bit *)
+  let sink_bits : (endpoint * int, unit) Hashtbl.t = Hashtbl.create 32 in
+  let* () =
+    List.fold_left
+      (fun acc (sink, _, w, sdescr) ->
+        let* () = acc in
+        let rec go k =
+          if k = w then Ok ()
+          else if Hashtbl.mem sink_bits (sink, k) then
+            err "%s bit %d is driven more than once" sdescr k
+          else begin
+            Hashtbl.add sink_bits (sink, k) ();
+            go (k + 1)
+          end
+        in
+        go 0)
+      (Ok ()) conns
+  in
+  (* completeness: every chip output and every instance input driven *)
+  let* () =
+    List.fold_left
+      (fun acc d ->
+        let* () = acc in
+        let rec go k =
+          if k = d.pd_width then Ok ()
+          else if Hashtbl.mem sink_bits (Cport d.pd_name, k) then go (k + 1)
+          else
+            err "chip output %s bit %d is not driven by any connection"
+              d.pd_name k
+        in
+        go 0)
+      (Ok ()) chip.ch_outputs
+  in
+  let* () =
+    List.fold_left
+      (fun acc inst ->
+        let* () = acc in
+        match sigs inst.ci_module with
+        | None -> err "no signature for module %s" inst.ci_module
+        | Some s ->
+          List.fold_left
+            (fun acc (p : Sig.port_sig) ->
+              let* () = acc in
+              if p.Sig.sdir <> Sc_netlist.Circuit.In then Ok ()
+              else
+                let rec go k =
+                  if k = p.Sig.swidth then Ok ()
+                  else if
+                    Hashtbl.mem sink_bits (Ipin (inst.ci_name, p.Sig.sname), k)
+                  then go (k + 1)
+                  else
+                    err
+                      "instance %s (module %s): input %s bit %d is not \
+                       connected"
+                      inst.ci_name inst.ci_module p.Sig.sname k
+                in
+                go 0)
+            (Ok ()) s.Sig.sports)
+      (Ok ()) chip.ch_insts
+  in
+  (* group by source bit so fanout shares one net *)
+  let tbl : (endpoint * int, bit list ref) Hashtbl.t = Hashtbl.create 32 in
+  let order = ref [] in
+  List.iter
+    (fun (sink, src, w, _) ->
+      for k = 0 to w - 1 do
+        let key = (src, k) in
+        (if not (Hashtbl.mem tbl key) then begin
+           Hashtbl.add tbl key (ref []);
+           order := key :: !order
+         end);
+        let r = Hashtbl.find tbl key in
+        r := { b_end = sink; b_idx = k } :: !r
+      done)
+    conns;
+  Ok
+    (List.rev_map
+       (fun ((src_ep, k) as key) ->
+         { cn_src = { b_end = src_ep; b_idx = k }
+         ; cn_sinks = List.rev !(Hashtbl.find tbl key)
+         })
+       !order)
+
+let endpoint_repr = function
+  | Cport p -> p
+  | Ipin (i, p) -> i ^ "." ^ p
+
+let decl_repr c =
+  Printf.sprintf "chip %s;inputs %s;outputs %s;instances %s;connect %s"
+    c.ch_name
+    (String.concat ","
+       (List.map (fun d -> Printf.sprintf "%s[%d]" d.pd_name d.pd_width) c.ch_inputs))
+    (String.concat ","
+       (List.map (fun d -> Printf.sprintf "%s[%d]" d.pd_name d.pd_width) c.ch_outputs))
+    (String.concat ","
+       (List.map (fun i -> i.ci_name ^ ":" ^ i.ci_module) c.ch_insts))
+    (String.concat ","
+       (List.map
+          (fun (sink, src) -> endpoint_repr sink ^ "=" ^ endpoint_repr src)
+          c.ch_connects))

@@ -167,8 +167,14 @@ let route_pass : (Sc_place.Placer.placement, route_summary option) P.pass =
       match s with
       | None -> ()
       | Some s ->
-        Obs.count "route.tracks" s.rtracks;
-        Obs.count "route.height" s.rheight;
+        (* with zero channels the fresh path never reaches
+           Channel.route, so no tracks/height counters exist to
+           replay — emitting zeros here would make warm snapshots
+           differ from cold ones *)
+        if s.rchannels > 0 then begin
+          Obs.count "route.tracks" s.rtracks;
+          Obs.count "route.height" s.rheight
+        end;
         Obs.count "route.channels" s.rchannels)
     (fun placement ->
       match route_placement placement with
@@ -337,7 +343,7 @@ let recorded recorder f =
   | None -> f ()
   | Some r -> Sc_obs.Obs.with_recorder r f
 
-let compile_behavior ?recorder ?(style = Random_logic) ?(restarts = 0)
+let compile_behavior_flat ?recorder ?(style = Random_logic) ?(restarts = 0)
     ?inject_fault src =
   recorded recorder @@ fun () ->
   let* design = P.run parse_pass (P.source src) in
@@ -379,3 +385,471 @@ let compile_layout ?recorder ?entry ?(args = []) src =
       (P.map (fun s -> (s, (entry, args))) (P.source src))
   in
   finish_layout layout
+
+(* --- modular compilation ----------------------------------------------
+   A source with a [chip] block compiles at module granularity: each
+   module block runs its own sub-pipeline (parse → compile → optimize →
+   place → route → drc → emit → measure) keyed on that block's raw
+   text, on its own domain with its own Obs recorder and run journal;
+   the chip then assembles the per-module layouts into a macro row with
+   a routed channel (Sc_chip.Assemble.pack) inside a pad frame, and
+   whole-chip drc/emit/measure finish the job.  Editing one module
+   invalidates exactly that module's stage keys plus the assembly. *)
+
+type module_compiled =
+  { mc_name : string
+  ; mc_sig : Sc_netlist.Signature.t
+  ; mc_circuit : Sc_netlist.Circuit.t  (** optimized *)
+  ; mc_layout : Cell.t
+  ; mc_key : string  (** staged key of the module layout *)
+  ; mc_drc : int
+  ; mc_measure : measured
+  }
+
+(* one module run, with the journal and telemetry the caller merges *)
+type module_run =
+  { mr : (module_compiled, Diag.t) result
+  ; mr_log : (string * P.status) list
+  ; mr_totals : (string * int) list
+  }
+
+(* Runs on its own domain: a fresh recorder isolates the module's QoR
+   gauges (concurrent modules would clobber each other's last-write
+   gauges in a shared recorder), a fresh journal isolates --explain
+   rows; both are merged deterministically by the caller. *)
+let run_module ~record ~certify ~restarts text () =
+  let rec_ = Sc_obs.Obs.Recorder.create () in
+  if record then Sc_obs.Obs.Recorder.enable rec_;
+  Sc_obs.Obs.with_recorder rec_ @@ fun () ->
+  P.with_certify certify @@ fun () ->
+  P.reset_log ();
+  let mr =
+    let* design = P.run parse_pass (P.source text) in
+    let* layout_staged, circuit = gates_path ~restarts design in
+    let* drc = P.run drc_pass layout_staged in
+    let* _emitted = P.run emit_pass layout_staged in
+    let* m = P.run measure_pass layout_staged in
+    Ok
+      { mc_name = circuit.Sc_netlist.Circuit.cname
+      ; mc_sig = Sc_netlist.Signature.of_circuit circuit
+      ; mc_circuit = circuit
+      ; mc_layout = P.value layout_staged
+      ; mc_key = P.key layout_staged
+      ; mc_drc = P.value drc
+      ; mc_measure = P.value m
+      }
+  in
+  let mr_log = P.log () in
+  P.drop_log ();
+  { mr; mr_log; mr_totals = Sc_obs.Obs.Recorder.totals rec_ }
+
+(* In-flight dedup across concurrent modular compiles (the serve
+   daemon's overlapping requests): the first arrival computes, everyone
+   else blocks for the shared result.  Entries live only while the
+   compute runs — afterwards the stage cache serves repeats. *)
+let mod_inflight : (string, module_run option ref) Hashtbl.t = Hashtbl.create 8
+let mod_lock = Mutex.create ()
+let mod_cond = Condition.create ()
+
+let shared_module_run key compute =
+  Mutex.lock mod_lock;
+  match Hashtbl.find_opt mod_inflight key with
+  | Some cell ->
+    let rec await () =
+      match !cell with
+      | Some r -> r
+      | None ->
+        Condition.wait mod_cond mod_lock;
+        await ()
+    in
+    let r = await () in
+    Mutex.unlock mod_lock;
+    (`Shared, r)
+  | None ->
+    let cell = ref None in
+    Hashtbl.add mod_inflight key cell;
+    Mutex.unlock mod_lock;
+    let finish r =
+      Mutex.lock mod_lock;
+      cell := Some r;
+      Hashtbl.remove mod_inflight key;
+      Condition.broadcast mod_cond;
+      Mutex.unlock mod_lock
+    in
+    (match compute () with
+    | r ->
+      finish r;
+      (`Fresh, r)
+    | exception e ->
+      (* never leave waiters hanging: surface the exception as a Diag *)
+      finish
+        { mr = Error (Diag.of_exn ~stage:"module" e)
+        ; mr_log = []
+        ; mr_totals = []
+        };
+      raise e)
+
+(* bounded fan-out on dedicated domains: module pipelines submit their
+   own shard work to the shared Sc_par pool, so they must not run *on*
+   that pool (nested submission); one domain per in-flight module
+   mirrors the serve daemon's request isolation.  jobs <= 1 still
+   spawns (journal and recorder isolation) but strictly one at a
+   time, keeping -j1 runs deterministic by construction. *)
+let fan_out ~jobs tasks =
+  let n = Array.length tasks in
+  let results = Array.make n None in
+  if jobs <= 1 then
+    Array.iteri
+      (fun i t -> results.(i) <- Some (Domain.join (Domain.spawn t)))
+      tasks
+  else begin
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          results.(i) <- Some (tasks.(i) ());
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let spawned =
+      List.init (min jobs n) (fun _ -> Domain.spawn worker)
+    in
+    List.iter Domain.join spawned
+  end;
+  Array.map Option.get results
+
+(* --- the assembly pass --- *)
+
+type assembled =
+  { aframed : Cell.t
+  ; acore_area : int
+  ; amacros : int
+  ; arow_width : int
+  ; arow_height : int
+  ; atracks : int
+  ; achannel_height : int
+  ; atrunk : int
+  ; apads : int
+  }
+
+let assembly_gauges a =
+  Obs.gauge "assembly.macros" a.amacros;
+  Obs.gauge "assembly.row_width" a.arow_width;
+  Obs.gauge "assembly.row_height" a.arow_height;
+  Obs.gauge "assembly.channel_tracks" a.atracks;
+  Obs.gauge "assembly.channel_height" a.achannel_height;
+  Obs.gauge "assembly.trunk_length" a.atrunk;
+  Obs.gauge "assembly.core_area" a.acore_area;
+  Obs.gauge "assembly.pads" a.apads
+
+let sig_port_bits (s : Sc_netlist.Signature.t) =
+  List.concat_map
+    (fun (p : Sc_netlist.Signature.port_sig) ->
+      List.init p.swidth (fun k ->
+          Chipdesc.bit_name (Chipdesc.Cport p.sname) ~width:p.swidth k))
+    s.Sc_netlist.Signature.sports
+
+let assemble_pass : (Chipdesc.chip_decl * module_compiled list, assembled) P.pass
+    =
+  P.register ~name:"assemble"
+    ~replay:(fun _ a ->
+      Obs.count "route.tracks" a.atracks;
+      Obs.count "route.height" a.achannel_height;
+      assembly_gauges a)
+    (fun (chip, mods) ->
+      let mod_of name =
+        List.find_opt (fun mc -> mc.mc_name = name) mods
+      in
+      let sig_of name = Option.map (fun mc -> mc.mc_sig) (mod_of name) in
+      match Chipdesc.resolve chip ~sigs:sig_of with
+      | Error e -> Error (Diag.v ~stage:"assemble" e)
+      | Ok nets ->
+        let macros =
+          List.map
+            (fun (i : Chipdesc.instance) ->
+              match mod_of i.ci_module with
+              | None ->
+                Diag.fail ~stage:"assemble"
+                  (Printf.sprintf "no compiled module %s" i.ci_module)
+              | Some mc ->
+                { Sc_chip.Assemble.mi_name = i.ci_name
+                ; mi_pins = sig_port_bits mc.mc_sig
+                ; mi_cell = mc.mc_layout
+                })
+            chip.Chipdesc.ch_insts
+        in
+        let port_bits decls =
+          List.concat_map
+            (fun (d : Chipdesc.port_decl) ->
+              List.init d.pd_width (fun k ->
+                  Chipdesc.bit_name (Chipdesc.Cport d.pd_name) ~width:d.pd_width
+                    k))
+            decls
+        in
+        let chip_ports =
+          port_bits chip.Chipdesc.ch_inputs @ port_bits chip.Chipdesc.ch_outputs
+        in
+        let width_of (ep : Chipdesc.endpoint) =
+          match ep with
+          | Chipdesc.Cport p -> (
+            match
+              List.find_opt
+                (fun (d : Chipdesc.port_decl) -> d.pd_name = p)
+                (chip.Chipdesc.ch_inputs @ chip.Chipdesc.ch_outputs)
+            with
+            | Some d -> d.pd_width
+            | None -> Diag.fail ~stage:"assemble" ("no chip port " ^ p))
+          | Chipdesc.Ipin (i, p) -> (
+            match
+              List.find_opt
+                (fun (x : Chipdesc.instance) -> x.ci_name = i)
+                chip.Chipdesc.ch_insts
+            with
+            | None -> Diag.fail ~stage:"assemble" ("no instance " ^ i)
+            | Some inst -> (
+              match
+                Option.bind (sig_of inst.ci_module) (fun s ->
+                    Sc_netlist.Signature.find s p)
+              with
+              | Some ps -> ps.Sc_netlist.Signature.swidth
+              | None -> Diag.fail ~stage:"assemble" ("no pin " ^ i ^ "." ^ p)))
+        in
+        let endpoint (b : Chipdesc.bit) =
+          let w = width_of b.Chipdesc.b_end in
+          match b.Chipdesc.b_end with
+          | Chipdesc.Cport _ ->
+            Sc_chip.Assemble.Chip
+              (Chipdesc.bit_name b.Chipdesc.b_end ~width:w b.Chipdesc.b_idx)
+          | Chipdesc.Ipin (i, _) ->
+            Sc_chip.Assemble.Pin
+              (i, Chipdesc.bit_name b.Chipdesc.b_end ~width:w b.Chipdesc.b_idx)
+        in
+        let anets =
+          List.map
+            (fun (n : Chipdesc.chip_net) ->
+              { Sc_chip.Assemble.net_name =
+                  (let w = width_of n.cn_src.Chipdesc.b_end in
+                   Chipdesc.bit_name n.cn_src.Chipdesc.b_end ~width:w
+                     n.cn_src.Chipdesc.b_idx)
+              ; ends = List.map endpoint (n.cn_src :: n.cn_sinks)
+              })
+            nets
+        in
+        let packed =
+          Sc_chip.Assemble.pack ~name:(chip.Chipdesc.ch_name ^ "_core") ~macros
+            ~chip_ports ~nets:anets ()
+        in
+        let pads = max 4 (List.length chip_ports) in
+        let framed =
+          Sc_chip.Assemble.assemble ~name:chip.Chipdesc.ch_name
+            ~core:packed.Sc_chip.Assemble.core ~pads ()
+        in
+        let a =
+          { aframed = framed.Sc_chip.Assemble.chip
+          ; acore_area = framed.Sc_chip.Assemble.core_area
+          ; amacros = packed.Sc_chip.Assemble.macro_count
+          ; arow_width = packed.Sc_chip.Assemble.row_width
+          ; arow_height = packed.Sc_chip.Assemble.row_height
+          ; atracks = packed.Sc_chip.Assemble.channel_tracks
+          ; achannel_height = packed.Sc_chip.Assemble.channel_height
+          ; atrunk = packed.Sc_chip.Assemble.trunk_length
+          ; apads = framed.Sc_chip.Assemble.pads
+          }
+        in
+        assembly_gauges a;
+        Ok a)
+
+(* --- stitching: the whole-chip hierarchical circuit --- *)
+
+let stitch chip mods nets =
+  let module C = Chipdesc in
+  let module B = Sc_netlist.Builder in
+  let b = B.create chip.C.ch_name in
+  let source_nets : (C.endpoint * int, Sc_netlist.Circuit.net) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  List.iter
+    (fun (d : C.port_decl) ->
+      let v = B.input b d.pd_name d.pd_width in
+      Array.iteri (fun k n -> Hashtbl.add source_nets (C.Cport d.pd_name, k) n) v)
+    chip.C.ch_inputs;
+  let mod_of name = List.find (fun mc -> mc.mc_name = name) mods in
+  List.iter
+    (fun (i : C.instance) ->
+      let mc = mod_of i.ci_module in
+      List.iter
+        (fun (p : Sc_netlist.Circuit.port) ->
+          if p.dir = Sc_netlist.Circuit.Out then begin
+            let v = B.fresh_vec b (Array.length p.bits) in
+            Array.iteri
+              (fun k n ->
+                Hashtbl.add source_nets (C.Ipin (i.ci_name, p.port_name), k) n)
+              v
+          end)
+        mc.mc_circuit.Sc_netlist.Circuit.ports)
+    chip.C.ch_insts;
+  (* sink bit -> the net of its driving source bit *)
+  let sink_nets : (C.endpoint * int, Sc_netlist.Circuit.net) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  List.iter
+    (fun (n : C.chip_net) ->
+      let src = Hashtbl.find source_nets (n.cn_src.C.b_end, n.cn_src.C.b_idx) in
+      List.iter
+        (fun (s : C.bit) -> Hashtbl.add sink_nets (s.C.b_end, s.C.b_idx) src)
+        n.cn_sinks)
+    nets;
+  List.iter
+    (fun (i : C.instance) ->
+      let mc = mod_of i.ci_module in
+      let conns =
+        List.map
+          (fun (p : Sc_netlist.Circuit.port) ->
+            let w = Array.length p.bits in
+            let arr =
+              match p.dir with
+              | Sc_netlist.Circuit.In ->
+                Array.init w (fun k ->
+                    Hashtbl.find sink_nets (C.Ipin (i.ci_name, p.port_name), k))
+              | Sc_netlist.Circuit.Out ->
+                Array.init w (fun k ->
+                    Hashtbl.find source_nets (C.Ipin (i.ci_name, p.port_name), k))
+            in
+            (p.port_name, arr))
+          mc.mc_circuit.Sc_netlist.Circuit.ports
+      in
+      B.inst b ~name:i.ci_name mc.mc_circuit conns)
+    chip.C.ch_insts;
+  List.iter
+    (fun (d : C.port_decl) ->
+      B.output b d.pd_name
+        (Array.init d.pd_width (fun k ->
+             Hashtbl.find sink_nets (C.Cport d.pd_name, k))))
+    chip.C.ch_outputs;
+  B.finish b
+
+(* --- the modular driver --- *)
+
+let runtime_total_key k =
+  let has_prefix p =
+    String.length k >= String.length p && String.sub k 0 (String.length p) = p
+  in
+  let has_suffix s =
+    let n = String.length s and m = String.length k in
+    m >= n && String.sub k (m - n) n = s
+  in
+  has_prefix "stage." || has_prefix "cache." || has_prefix "pool."
+  || has_prefix "pipeline." || has_suffix ".tasks" || has_suffix ".calls"
+  || has_suffix "_us"
+
+let compile_modular ?recorder ?(restarts = 0) src =
+  recorded recorder @@ fun () ->
+  match Chipdesc.split src with
+  | Error e -> Error (Diag.v ~stage:"chip" e)
+  | Ok { Chipdesc.chip = None; _ } ->
+    Error (Diag.v ~stage:"chip" "modular source has no chip block")
+  | Ok { Chipdesc.modules; chip = Some chip } ->
+    (* compile each instantiated module once, in file order *)
+    let used =
+      List.filter
+        (fun (m : Chipdesc.source_module) ->
+          List.exists
+            (fun (i : Chipdesc.instance) -> i.ci_module = m.sm_name)
+            chip.Chipdesc.ch_insts)
+        modules
+    in
+    let record = Obs.enabled () in
+    let certify = P.certify_enabled () in
+    let jobs = Sc_par.Pool.default_size () in
+    let tasks =
+      Array.of_list
+        (List.map
+           (fun (m : Chipdesc.source_module) () ->
+             let key =
+               Sc_cache.Cache.digest
+                 (Printf.sprintf "modular-module\x00%s\x00restarts=%d;certify=%b"
+                    m.sm_text restarts certify)
+             in
+             shared_module_run key
+               (run_module ~record ~certify ~restarts m.sm_text))
+           used)
+    in
+    let runs = fan_out ~jobs tasks in
+    if Obs.enabled () then Obs.gauge "modular.modules" (Array.length runs);
+    (* merge journals and telemetry deterministically, in file order;
+       a run served by the in-flight dedup reports its passes as hits *)
+    Array.iteri
+      (fun i (how, r) ->
+        let m = List.nth used i in
+        let entries =
+          match how with
+          | `Fresh -> r.mr_log
+          | `Shared ->
+            Obs.count "modular.shared.calls" 1;
+            List.map (fun (n, _) -> (n, P.Hit)) r.mr_log
+        in
+        P.append_log
+          (List.map
+             (fun (n, st) -> (m.Chipdesc.sm_name ^ ":" ^ n, st))
+             entries);
+        if Obs.enabled () then
+          List.iter
+            (fun (k, v) ->
+              if runtime_total_key k then Obs.count k v
+              else
+                Obs.gauge ("module." ^ m.Chipdesc.sm_name ^ "." ^ k) v)
+            r.mr_totals)
+      runs;
+    let* mods =
+      Array.fold_left
+        (fun acc (_, r) ->
+          let* acc = acc in
+          match r.mr with
+          | Ok mc -> Ok (mc :: acc)
+          | Error d ->
+            Error { d with Diag.stage = "module:" ^ d.Diag.stage })
+        (Ok []) runs
+    in
+    let mods = List.rev mods in
+    let staged =
+      P.inject ~tag:"assembly"
+        ~repr:
+          (Chipdesc.decl_repr chip ^ "\x00"
+          ^ String.concat ";"
+              (List.map
+                 (fun mc ->
+                   Printf.sprintf "%s=%s:%s" mc.mc_name mc.mc_key
+                     (Sc_netlist.Signature.digest mc.mc_sig))
+                 mods)
+          ^ Printf.sprintf "\x00restarts=%d" restarts)
+        (chip, mods)
+    in
+    let* assembled = P.run assemble_pass staged in
+    let* c = finish_layout (P.map (fun a -> a.aframed) assembled) in
+    let* nets =
+      match
+        Chipdesc.resolve chip ~sigs:(fun n ->
+            List.find_opt (fun mc -> mc.mc_name = n) mods
+            |> Option.map (fun mc -> mc.mc_sig))
+      with
+      | Ok nets -> Ok nets
+      | Error e -> Error (Diag.v ~stage:"chip" e)
+    in
+    let circuit = stitch chip mods nets in
+    Ok (c, circuit)
+
+(* the behavioral front door dispatches on the source: a [chip] block
+   means separate compilation, anything else takes the flat path *)
+let compile_behavior ?recorder ?(style = Random_logic) ?(restarts = 0)
+    ?inject_fault src =
+  if Chipdesc.is_modular src then
+    match style with
+    | Pla_control ->
+      Error
+        (Diag.v ~stage:"chip"
+           "modular designs use the gates style (no --style pla)")
+    | Random_logic -> compile_modular ?recorder ~restarts src
+  else compile_behavior_flat ?recorder ~style ~restarts ?inject_fault src

@@ -64,6 +64,11 @@ val compile_layout :
 
 (** Behavioral path: ISP source to a placed layout of standard cells (or
     a PLA plus registers).  Also returns the synthesized circuit.
+
+    A source containing a top-level [chip] block
+    ({!Sc_core.Chipdesc.is_modular}) dispatches to separate compilation
+    ({!compile_modular}); [style] must then be [Random_logic] and
+    [inject_fault] is ignored.
     [restarts] selects multi-start placement (default 0; it is a
     place-pass parameter, so under a stage cache changing it leaves
     parse/compile/optimize hits).  [inject_fault] deliberately
@@ -77,6 +82,26 @@ val compile_behavior :
   ?style:behavior_style ->
   ?restarts:int ->
   ?inject_fault:int ->
+  string ->
+  (compiled * Sc_netlist.Circuit.t, Sc_pipeline.Diag.t) result
+
+(** Separate compilation: a multi-module source with a [chip] block
+    ({!Sc_core.Chipdesc}).  Each module block runs its own sub-pipeline
+    (parse → compile → optimize → place → route → drc → emit → measure)
+    keyed on that block's raw text, on its own domain with its own
+    recorder and run journal — editing one module re-runs exactly that
+    module's passes plus assembly.  Concurrent compiles of the same
+    module text (the serve daemon) share one in-flight run.  The
+    assembly pass packs the per-module layouts into a macro row with a
+    routed channel ({!Sc_chip.Assemble.pack}) inside the pad frame;
+    whole-chip drc/emit/measure finish.  The returned circuit is the
+    hierarchical stitch of the optimized module circuits under the
+    chip's connections.  Per-module journal rows appear as
+    [module:pass]; per-module QoR totals merge into the ambient
+    recorder as [module.NAME.key] gauges. *)
+val compile_modular :
+  ?recorder:Sc_obs.Obs.Recorder.t ->
+  ?restarts:int ->
   string ->
   (compiled * Sc_netlist.Circuit.t, Sc_pipeline.Diag.t) result
 

@@ -460,6 +460,47 @@ let pdp8_stim cyc =
     ; ("inst", pdp8_program.((cyc - 1) mod Array.length pdp8_program))
     ]
 
+(* --- the modular reference design: separate compilation workload --- *)
+
+let system_src =
+  {|
+-- two-module system: a combinational mixer feeding an accumulator.
+-- Each module block compiles through its own sub-pipeline; the chip
+-- block binds them by interface signature and macro-assembles them.
+
+module mixer;
+inputs a[4], b[4];
+outputs y[4];
+behavior
+  y := a ^ b;
+end
+
+module accum;
+inputs d[4], reset[1];
+outputs q[4];
+registers acc[4];
+behavior
+  if reset == 1 then acc := 0;
+  else acc := acc + d;
+  end
+  q := acc;
+end
+
+chip system;
+inputs a[4], b[4], reset[1];
+outputs q[4];
+instances
+  u_mix : mixer;
+  u_acc : accum;
+connect
+  u_mix.a = a;
+  u_mix.b = b;
+  u_acc.d = u_mix.y;
+  u_acc.reset = reset;
+  q = u_acc.q;
+end
+|}
+
 let all () =
   [ ("counter", counter_src, Some (hand_counter ()), counter_stim, 50)
   ; ("traffic", traffic_src, Some (hand_traffic ()), traffic_stim, 80)
@@ -477,4 +518,5 @@ let builtin = function
   | "seqdet" -> Some seqdet_src
   | "pdp8" -> Some pdp8_src
   | "pdp8_dp" -> Some pdp8_dp_src
+  | "system" -> Some system_src
   | _ -> None

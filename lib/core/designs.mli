@@ -39,6 +39,11 @@ val pdp8_src : string
     ({!hand_pdp8_dp}, E9). *)
 val pdp8_dp_src : string
 
+(** The modular reference design: a combinational mixer module feeding
+    an accumulator module, bound by a [chip] block — the separate
+    compilation workload ({!Sc_core.Chipdesc}, bench e17). *)
+val system_src : string
+
 (** Parsed designs (panics on internal parse error — these are fixtures). *)
 val parse : string -> Sc_rtl.Ast.design
 
@@ -83,9 +88,9 @@ val seqdet_stim : int -> (string * int) list
 val pdp8_stim : int -> (string * int) list
 
 (** [builtin name] — the ISP source of a builtin design: [counter],
-    [traffic], [alu]/[alu4], [gray], [seqdet], [pdp8], [pdp8_dp].  The
-    single lookup [scc isp], [scc client] and the daemon's equiv
-    resolver all share. *)
+    [traffic], [alu]/[alu4], [gray], [seqdet], [pdp8], [pdp8_dp],
+    [system] (modular).  The single lookup [scc isp], [scc client] and
+    the daemon's equiv resolver all share. *)
 val builtin : string -> string option
 
 (** (name, ISP source, hand baseline if any, stimulus, verify cycles) *)

@@ -1,0 +1,72 @@
+type port_sig =
+  { sname : string
+  ; sdir : Circuit.port_dir
+  ; swidth : int
+  }
+
+type t =
+  { mname : string
+  ; sports : port_sig list
+  ; clocked : bool
+  }
+
+let rec circuit_clocked (c : Circuit.t) =
+  List.exists (fun (g : Circuit.gate_inst) -> Gate.is_sequential g.kind) c.gates
+  || List.exists (fun (i : Circuit.inst) -> circuit_clocked i.sub) c.insts
+
+let of_circuit (c : Circuit.t) =
+  { mname = c.Circuit.cname
+  ; sports =
+      List.map
+        (fun (p : Circuit.port) ->
+          { sname = p.port_name; sdir = p.dir; swidth = Array.length p.bits })
+        c.Circuit.ports
+  ; clocked = circuit_clocked c
+  }
+
+let find t name = List.find_opt (fun p -> p.sname = name) t.sports
+
+let dir_to_string = function Circuit.In -> "in" | Circuit.Out -> "out"
+
+let port_to_string p =
+  Printf.sprintf "%s %s[%d]" (dir_to_string p.sdir) p.sname p.swidth
+
+let to_string t =
+  Printf.sprintf "module %s (%s) %s" t.mname
+    (String.concat ", " (List.map port_to_string t.sports))
+    (if t.clocked then "clocked" else "comb")
+
+let digest t = Digest.to_hex (Digest.string (to_string t))
+
+let compatible ~expected ~got =
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let rec ports = function
+    | [] -> (
+      (* every expected port matched; anything extra on [got]? *)
+      match
+        List.find_opt (fun p -> find expected p.sname = None) got.sports
+      with
+      | Some p ->
+        err "port %s: %s declares %s but %s has no such port" p.sname
+          got.mname (port_to_string p) expected.mname
+      | None -> Ok ())
+    | e :: rest -> (
+      match find got e.sname with
+      | None ->
+        err "port %s: %s declares %s but %s has no such port" e.sname
+          expected.mname (port_to_string e) got.mname
+      | Some g when g.sdir <> e.sdir || g.swidth <> e.swidth ->
+        err "port %s: %s declares %s but %s declares %s" e.sname
+          expected.mname (port_to_string e) got.mname (port_to_string g)
+      | Some _ -> ports rest)
+  in
+  match ports expected.sports with
+  | Error _ as e -> e
+  | Ok () when expected.clocked <> got.clocked ->
+    err "%s is %s but %s is %s" expected.mname
+      (if expected.clocked then "clocked" else "combinational")
+      got.mname
+      (if got.clocked then "clocked" else "combinational")
+  | Ok () -> Ok ()
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -26,11 +26,18 @@ let map f s = { value = f s.value; key = s.key }
 type config =
   { mutable cdir : string option
   ; mutable ccap : int
+  ; mutable cdisk_cap : int option
   ; mutable cenabled : bool
   ; mutable ccertify : bool
   }
 
-let config = { cdir = None; ccap = 256; cenabled = false; ccertify = false }
+let config =
+  { cdir = None
+  ; ccap = 256
+  ; cdisk_cap = None
+  ; cenabled = false
+  ; ccertify = false
+  }
 
 (* --- translation certificates --- *)
 
@@ -96,9 +103,10 @@ let register ?(version = 1) ?replay ?certify ~name f =
   Mutex.protect reg_lock (fun () -> registry := entry :: !registry);
   pass
 
-let enable_cache ?(capacity = 256) ?dir () =
+let enable_cache ?(capacity = 256) ?disk_capacity ?dir () =
   config.cdir <- dir;
   config.ccap <- capacity;
+  config.cdisk_cap <- disk_capacity;
   config.cenabled <- true
 
 let disable_cache () = config.cenabled <- false
@@ -165,8 +173,8 @@ let store_for pass =
         | Some (dir, c) when dir = config.cdir -> Some c
         | _ ->
           let c =
-            Cache.create ~capacity:config.ccap ?dir:config.cdir ~name:pass.name
-              ()
+            Cache.create ~capacity:config.ccap ?disk_capacity:config.cdisk_cap
+              ?dir:config.cdir ~name:pass.name ()
           in
           pass.store <- Some (config.cdir, c);
           Some c)
@@ -179,8 +187,8 @@ let cert_store_for pass =
         | Some (dir, c) when dir = config.cdir -> Some c
         | _ ->
           let c =
-            Cache.create ~capacity:config.ccap ?dir:config.cdir
-              ~name:(pass.name ^ ".cert") ()
+            Cache.create ~capacity:config.ccap ?disk_capacity:config.cdisk_cap
+              ?dir:config.cdir ~name:(pass.name ^ ".cert") ()
           in
           pass.cert_store <- Some (config.cdir, c);
           Some c)
@@ -223,6 +231,19 @@ let log () =
       match Hashtbl.find_opt journals (jkey ()) with
       | Some entries -> List.rev !entries
       | None -> [])
+
+let append_log entries =
+  Mutex.protect jlock (fun () ->
+      let k = jkey () in
+      let r =
+        match Hashtbl.find_opt journals k with
+        | Some r -> r
+        | None ->
+          let r = ref [] in
+          Hashtbl.replace journals k r;
+          r
+      in
+      List.iter (fun e -> r := e :: !r) entries)
 
 let note_status name st =
   Mutex.protect jlock (fun () ->

@@ -144,11 +144,13 @@ val run :
 
 (** {2 Cache control} *)
 
-val enable_cache : ?capacity:int -> ?dir:string -> unit -> unit
+val enable_cache : ?capacity:int -> ?disk_capacity:int -> ?dir:string -> unit -> unit
 (** Turn on per-pass caching (process-global).  Without [dir] the
     stores are memory-only; with it, artifacts persist to
     [dir/<pass>-<digest>] and survive the process.  Calling again with
-    a different [dir] re-homes every store lazily. *)
+    a different [dir] re-homes every store lazily.  [disk_capacity]
+    bounds each pass's on-disk entry count with LRU eviction (see
+    {!Sc_cache.Cache.create}); unbounded by default. *)
 
 val disable_cache : unit -> unit
 (** Stop consulting/filling the stores (their contents are kept and
@@ -204,6 +206,13 @@ val log : unit -> (string * status) list
 val drop_log : unit -> unit
 (** Forget the calling thread's journal entirely (a terminating daemon
     thread calls this so dead threads don't accumulate journals). *)
+
+val append_log : (string * status) list -> unit
+(** Splice entries onto the calling thread's journal, in order.  The
+    modular driver compiles each module on its own domain with its own
+    journal, then appends the per-module entries (names prefixed
+    ["<module>:"]) back into the requesting thread's journal so
+    [--explain] shows one merged, deterministic sequence. *)
 
 val pp_explain : Format.formatter -> unit -> unit
 (** One ["explain: <pass> <status>"] line per log entry. *)

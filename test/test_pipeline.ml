@@ -352,6 +352,35 @@ let test_journal_isolation () =
     ]
     observed.(1)
 
+(* append_log splices foreign journal entries (a module sub-pipeline's
+   run log, prefixed by its driver) onto the calling thread's journal,
+   preserving order relative to locally run passes *)
+let test_append_log () =
+  with_clean_pipeline @@ fun () ->
+  let p = P.register ~name:"unit_append" (fun n -> Ok (n + 1)) in
+  P.append_log [ ("m1:parse", P.Ran); ("m1:place", P.Hit) ];
+  ignore (P.run p (P.inject ~tag:"n" ~repr:"7" 7));
+  P.append_log [ ("m2:parse", P.Ran) ];
+  Alcotest.(check (list string))
+    "spliced in order"
+    [ "m1:parse"; "m1:place"; "unit_append"; "m2:parse" ]
+    (List.map fst (P.log ()));
+  (match P.log () with
+  | (_, P.Ran) :: (_, P.Hit) :: _ -> ()
+  | _ -> Alcotest.fail "statuses preserved");
+  (* appending works on a thread with no journal yet: it creates one *)
+  let seen = ref [] in
+  let t =
+    Thread.create
+      (fun () ->
+        P.append_log [ ("fresh:emit", P.Ran) ];
+        seen := List.map fst (P.log ());
+        P.drop_log ())
+      ()
+  in
+  Thread.join t;
+  Alcotest.(check (list string)) "fresh journal" [ "fresh:emit" ] !seen
+
 let suite =
   [ Alcotest.test_case "staged keys" `Quick test_staged_keys
   ; Alcotest.test_case "pass cache and log" `Quick test_pass_cache_and_log
@@ -363,4 +392,5 @@ let suite =
   ; Alcotest.test_case "warm QoR byte identity" `Quick test_warm_qor_identity
   ; Alcotest.test_case "store creation race" `Quick test_store_creation_race
   ; Alcotest.test_case "journal isolation" `Quick test_journal_isolation
+  ; Alcotest.test_case "append_log splices journals" `Quick test_append_log
   ]

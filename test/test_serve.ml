@@ -552,6 +552,45 @@ let test_certify_isolation_concurrent () =
     Alcotest.failf "plain compile failed: %s: %s" stage message
   | _ -> Alcotest.fail "expected Compiled"
 
+(* a modular (chip-block) source compiles through the daemon: the
+   per-module pass rows ride the reply, the snapshot carries per-module
+   QoR, and a warm repeat is all-hit including the module rows *)
+let test_modular_via_daemon () =
+  with_server @@ fun socket ->
+  let spec =
+    match Sc_core.Designs.builtin "system" with
+    | Some source ->
+      { P.design = "system"; source; style = "gates"; restarts = 0
+      ; certify = false
+      }
+    | None -> assert false
+  in
+  (match rpc socket (P.Compile spec) with
+  | P.Compiled c ->
+    let passes = List.map fst c.P.passes in
+    check_bool "per-module pass rows" true
+      (List.mem "mixer:place" passes && List.mem "accum:place" passes
+      && List.mem "assemble" passes);
+    let snap = Json.to_string c.P.snapshot in
+    let contains needle hay =
+      let n = String.length needle and h = String.length hay in
+      let rec go i =
+        i + n <= h && (String.sub hay i n = needle || go (i + 1))
+      in
+      go 0
+    in
+    check_bool "per-module QoR in snapshot" true
+      (contains "module.mixer.area" snap && contains "module.accum.area" snap)
+  | P.Error_reply { stage; message } ->
+    Alcotest.failf "modular compile failed: %s: %s" stage message
+  | _ -> Alcotest.fail "expected Compiled");
+  match rpc socket (P.Compile spec) with
+  | P.Compiled c ->
+    check_bool "warm modular request: all passes hit" true
+      (c.P.passes <> []
+      && List.for_all (fun (_, st) -> st = "hit (memory)") c.P.passes)
+  | _ -> Alcotest.fail "expected Compiled"
+
 let suite =
   [ Alcotest.test_case "request codecs roundtrip" `Quick test_request_roundtrip
   ; Alcotest.test_case "response codecs roundtrip" `Quick
@@ -578,4 +617,6 @@ let suite =
       test_log_and_trace
   ; Alcotest.test_case "certify isolation under concurrency" `Quick
       test_certify_isolation_concurrent
+  ; Alcotest.test_case "modular design via daemon" `Quick
+      test_modular_via_daemon
   ]
